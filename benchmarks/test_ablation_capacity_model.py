@@ -1,0 +1,76 @@
+"""Ablation — the G/G/1 capacity model vs naive sizing (§4.3, eq. 1-2).
+
+For a fixed arrival rate, size the pool three ways and measure the
+response-time distribution at that static capacity:
+
+* ``naive`` — η = ⌈λ·s⌉: pure service-rate accounting (ρ→1).  Utilization
+  says "enough servers", queueing theory says meltdown.
+* ``gg1`` — η from equations (1)-(2): the paper's model, leaving the
+  Kingman headroom needed to meet d at a high percentile.
+* ``gg1+1`` — one extra instance: diminishing returns beyond the model.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.bench import render_table
+from repro.elasticity import GG1CapacityModel, PAPER_PARAMETERS
+from repro.objectmq.provisioner import FixedProvisioner
+from repro.simulation import AutoscaleSimulation, SimConfig, percentile
+
+LAMBDA = 100.0  # req/s
+DURATION = 120  # simulated seconds
+
+
+def run_ablation():
+    import math
+
+    model = GG1CapacityModel()
+    naive = max(1, math.ceil(LAMBDA * PAPER_PARAMETERS.s))
+    gg1 = model.instances_for(LAMBDA)
+    arrivals = [int(LAMBDA)] * DURATION
+
+    results = {}
+    for name, eta in (("naive", naive), ("gg1", gg1), ("gg1+1", gg1 + 1)):
+        sim = AutoscaleSimulation(
+            arrivals,
+            FixedProvisioner(eta),
+            SimConfig(control_interval=5.0, spawn_delay=0.0, max_instances=64),
+        )
+        result = sim.run()
+        times = result.response_times()
+        results[name] = {
+            "eta": eta,
+            "p95": percentile(times, 0.95),
+            "violations": result.sla_violation_fraction(),
+        }
+    return results
+
+
+def test_ablation_capacity_model(benchmark):
+    results = run_once(benchmark, run_ablation)
+
+    print(f"\nAblation: pool sizing for λ={LAMBDA:.0f} req/s "
+          f"(SLA d={PAPER_PARAMETERS.d * 1000:.0f} ms)")
+    print(render_table(
+        ["Model", "η", "p95 response (s)", "SLA violations"],
+        [
+            [name, r["eta"], r["p95"], r["violations"]]
+            for name, r in results.items()
+        ],
+    ))
+
+    naive = results["naive"]
+    gg1 = results["gg1"]
+    plus_one = results["gg1+1"]
+
+    # η must differ: the GG1 model allocates headroom the naive one skips.
+    assert gg1["eta"] > naive["eta"]
+    # Naive sizing (ρ ≈ 1) blows the SLA.
+    assert naive["violations"] > 0.3
+    # The paper's model meets it at a high percentile.
+    assert gg1["violations"] < 0.05
+    assert gg1["p95"] < PAPER_PARAMETERS.d
+    # One more instance buys little: the model is close to the knee.
+    assert plus_one["p95"] > 0.3 * gg1["p95"]

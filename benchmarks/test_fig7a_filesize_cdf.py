@@ -1,0 +1,41 @@
+"""Fig 7(a) — CDF of file size of the generated trace (§5.2.1).
+
+Paper statistics: ≈940 ADDs / 72 UPDATEs / 228 REMOVEs, ≈535 MB of ADD
+volume, mean file size ≈583 KB, and 90% of files below 4 MB.  The trace
+here carries the same counts with sizes scaled by REPRO_BENCH_SCALE, so
+the CDF *shape* (probed at scaled thresholds) must match.
+"""
+
+from __future__ import annotations
+
+from conftest import BENCH_SCALE, run_once
+
+from repro.bench import render_cdf, render_table
+from repro.workload import PAPER_P90_BOUND
+from repro.workload.trace import OP_ADD, OP_REMOVE, OP_UPDATE
+
+
+def test_fig7a_filesize_cdf(benchmark, paper_trace):
+    sizes = run_once(benchmark, paper_trace.file_sizes)
+
+    kb = 1024 * BENCH_SCALE
+    probes = [int(p * kb) for p in (4, 16, 64, 256, 1024, 4096, 16384)]
+    print("\nFig 7(a): CDF of file size (sizes scaled by "
+          f"{BENCH_SCALE}; probe labels are paper-scale KB)")
+    print(render_cdf("file size CDF", sizes, probes, fmt=lambda v: f"{v / kb:.0f}KB"))
+    print(render_table(
+        ["metric", "paper", "measured (rescaled)"],
+        [
+            ["ADD ops", 940, paper_trace.count(OP_ADD)],
+            ["UPDATE ops", 72, paper_trace.count(OP_UPDATE)],
+            ["REMOVE ops", 228, paper_trace.count(OP_REMOVE)],
+            ["ADD volume (MB)", 535.41, paper_trace.add_volume / (1024**2) / BENCH_SCALE],
+            ["mean file size (KB)", 583, paper_trace.mean_file_size / 1024 / BENCH_SCALE],
+        ],
+    ))
+
+    below_4mb = sum(1 for s in sizes if s < PAPER_P90_BOUND * BENCH_SCALE) / len(sizes)
+    assert 0.85 <= below_4mb <= 0.95, "paper: ~90% of files below 4 MB"
+    mean_kb = paper_trace.mean_file_size / 1024 / BENCH_SCALE
+    assert 380 <= mean_kb <= 800, "paper: mean file size ~583 KB"
+    assert 800 <= paper_trace.count(OP_ADD) <= 1100

@@ -1,0 +1,84 @@
+"""Fig 7(c)/(d) — control and storage traffic per action type.
+
+The paper groups actions by type into separate traces; since UPDATEs only
+make sense against files that already exist, the replays here run the
+full trace once per system and attribute traffic to the action that
+caused it (equivalent measurement, and it keeps update targets seeded
+exactly as the paper's tool did).
+
+Expected shape:
+
+* Fig 7(c) control: Dropbox's ADD control traffic (~25 MB) dwarfs
+  StackSync's (~3 MB); REMOVE control is likewise dominated by Dropbox's
+  chatty per-operation protocol.
+* Fig 7(d) storage: StackSync's ADD storage is below Dropbox's
+  (compression + dedup vs raw), but Dropbox wins UPDATE storage thanks to
+  delta encoding, while StackSync re-uploads whole 512 KB chunks for
+  byte-sized edits.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.baselines import DROPBOX
+from repro.bench import mb, render_table, replay_profile, replay_stacksync
+from repro.workload.trace import OP_ADD, OP_REMOVE, OP_UPDATE
+
+
+def run_by_action(paper_trace):
+    return {
+        "StackSync": replay_stacksync(paper_trace, compressible_fraction=0.05),
+        "Dropbox": replay_profile(paper_trace, DROPBOX, compressible_fraction=0.05),
+    }
+
+
+def test_fig7cd_traffic_by_action(benchmark, paper_trace):
+    results = run_once(benchmark, lambda: run_by_action(paper_trace))
+    stacksync = results["StackSync"]
+    dropbox = results["Dropbox"]
+
+    control_rows = []
+    storage_rows = []
+    for action in (OP_ADD, OP_UPDATE, OP_REMOVE):
+        control_rows.append(
+            [
+                action,
+                mb(stacksync.by_action_control.get(action, 0)),
+                mb(dropbox.by_action_control.get(action, 0)),
+            ]
+        )
+        storage_rows.append(
+            [
+                action,
+                mb(stacksync.by_action_storage.get(action, 0)),
+                mb(dropbox.by_action_storage.get(action, 0)),
+            ]
+        )
+
+    print("\nFig 7(c): control traffic per action type (MB)")
+    print(render_table(["Action", "StackSync", "Dropbox"], control_rows))
+    print("Fig 7(d): storage traffic per action type (MB)")
+    print(render_table(["Action", "StackSync", "Dropbox"], storage_rows))
+
+    ss_control = stacksync.by_action_control
+    db_control = dropbox.by_action_control
+    ss_storage = stacksync.by_action_storage
+    db_storage = dropbox.by_action_storage
+
+    # Fig 7(c): Dropbox ADD control signalling is several times heavier.
+    assert db_control[OP_ADD] > 4 * ss_control[OP_ADD]
+    assert db_control[OP_REMOVE] > ss_control[OP_REMOVE]
+
+    # Fig 7(d): StackSync moves less ADD storage than Dropbox...
+    assert ss_storage[OP_ADD] < db_storage[OP_ADD]
+    # ...but loses UPDATEs to delta encoding (whole-chunk re-upload).
+    assert ss_storage[OP_UPDATE] > db_storage[OP_UPDATE]
+    # Both UPDATE figures vastly exceed the few KB actually modified —
+    # the paper's "both values are relatively high" observation.
+    modified_bytes = 14 * 1024  # paper: ≈14 KB of real changes
+    assert ss_storage[OP_UPDATE] > modified_bytes
+    assert db_storage[OP_UPDATE] + db_control[OP_UPDATE] > modified_bytes
+    # REMOVE moves no data for either system.
+    assert ss_storage.get(OP_REMOVE, 0) < 1024 * 1024
+    assert db_storage.get(OP_REMOVE, 0) == 0

@@ -1,0 +1,121 @@
+"""Fig 7(e) — time to sync 6 devices per operation type (§5.2.3).
+
+Six clients share one workspace over the live stack (real ObjectMQ over
+the in-process broker, real SyncService, real chunk upload/download
+against the simulated Swift store).  One client performs each operation;
+the sync time is the interval until all five other devices applied it.
+
+The latency model is the paper's LAN profile scaled down (factor below),
+so absolute numbers are proportionally smaller; the shape must hold:
+
+* every operation syncs in bounded time;
+* ADD is the slowest class (data flows to and from the Storage back-end);
+* REMOVE is the fastest (no data flow) — its sync time estimates the raw
+  ObjectMQ+SyncService processing path;
+* UPDATE is right-skewed (fixed-size chunking re-uploads whole chunks,
+  so a byte-edit on a large file costs like an ADD — the
+  boundary-shifting problem).
+"""
+
+from __future__ import annotations
+
+import random
+
+from conftest import run_once
+
+from repro.bench import render_boxplot_row
+from repro.bench.overhead import build_testbed
+from repro.client import StackSyncClient
+from repro.simulation import boxplot_stats
+from repro.storage import LAN_PROFILE, LatencyModel
+from repro.workload import FileSizeSampler, ModificationEngine, generate_content
+
+#: Wall-clock scale: the paper's LAN latencies divided by this factor.
+TIME_SCALE = 0.25
+OPS_PER_TYPE = 15
+DEVICES = 6
+
+
+def run_experiment():
+    testbed = build_testbed()
+    testbed.storage.latency = LatencyModel(
+        profile=LAN_PROFILE.scaled(TIME_SCALE), sleep=True, rng=random.Random(1)
+    )
+    writer = testbed.client
+    readers = [
+        StackSyncClient(
+            "bench-user",
+            testbed.workspace,
+            testbed.mom,
+            testbed.storage,
+            device_id=f"reader-{i}",
+        )
+        for i in range(DEVICES - 1)
+    ]
+    for reader in readers:
+        reader.start()
+
+    sizes = FileSizeSampler(rng=random.Random(2))
+    mods = ModificationEngine(rng=random.Random(3))
+    sync_times = {"ADD": [], "UPDATE": [], "REMOVE": []}
+    contents = {}
+
+    def measure(op, path, content):
+        import time
+
+        t0 = time.perf_counter()
+        if op == "REMOVE":
+            meta = writer.delete_file(path)
+        else:
+            meta = writer.put_file(path, content)
+        for reader in readers:
+            assert reader.wait_for_version(meta.item_id, meta.version, timeout=60)
+        sync_times[op].append(time.perf_counter() - t0)
+
+    # ADD phase: realistic file sizes (scaled like the traffic benches).
+    # Paper-faithful detail: the size distribution includes the >4 MB
+    # tail, so ADDs carry occasional large transfers.
+    for i in range(OPS_PER_TYPE):
+        path = f"f{i}.dat"
+        content = generate_content(path, max(1024, sizes.sample() // 4), seed=9)
+        contents[path] = content
+        measure("ADD", path, content)
+    # UPDATE phase: small B/E/M edits, applied only to files below the
+    # (scaled) 4 MB eligibility limit, as in §5.2.1.
+    update_limit = 4 * 1024 * 1024 // 4
+    eligible = [p for p, c in contents.items() if len(c) < update_limit]
+    for i in range(OPS_PER_TYPE):
+        path = eligible[i % len(eligible)]
+        new_content, _pattern = mods.apply(contents[path])
+        contents[path] = new_content
+        measure("UPDATE", path, new_content)
+    # REMOVE phase.
+    for i in range(OPS_PER_TYPE):
+        measure("REMOVE", f"f{i}.dat", None)
+
+    for reader in readers:
+        reader.stop()
+    testbed.close()
+    return sync_times
+
+
+def test_fig7e_sync_time_boxplots(benchmark):
+    sync_times = run_once(benchmark, run_experiment)
+
+    stats = {op: boxplot_stats(values) for op, values in sync_times.items()}
+    print(f"\nFig 7(e): time to sync {DEVICES} clients (seconds, LAN scaled x{TIME_SCALE})")
+    for op in ("ADD", "UPDATE", "REMOVE"):
+        print(render_boxplot_row(op, stats[op], unit_scale=1000.0, unit="ms"))
+
+    # Everything syncs in bounded time (paper: a few seconds at scale 1).
+    for op, s in stats.items():
+        assert s.maximum < 30.0, op
+    # REMOVE (no data flow) is the cheapest class — its sync time is the
+    # paper's estimator of the raw ObjectMQ+SyncService processing path.
+    assert stats["REMOVE"].median <= stats["ADD"].median
+    assert stats["REMOVE"].median <= stats["UPDATE"].median
+    # Data-moving operations cost several times the metadata-only path.
+    assert stats["ADD"].mean > 3 * stats["REMOVE"].mean
+    # UPDATE is right-skewed: mean above median (edits on larger files
+    # pay full chunk re-uploads while most edits touch small files).
+    assert stats["UPDATE"].mean > stats["UPDATE"].median

@@ -1,0 +1,76 @@
+"""Fig 7(f) — synchronization time as a function of file size (§5.2.3).
+
+ADDs of increasing size through the live stack.  Expected shape: a flat
+floor for small files (the fixed ObjectMQ+SyncService+storage round-trip
+cost dominates) and linear growth once transfer time takes over — the
+paper puts the knee around 2.5 MB on its LAN.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from conftest import run_once
+
+from repro.bench import render_series, render_table
+from repro.bench.overhead import build_testbed
+from repro.client import StackSyncClient
+from repro.storage import LAN_PROFILE, LatencyModel
+from repro.workload import generate_content
+
+TIME_SCALE = 0.25
+SIZES_KB = [32, 64, 128, 256, 512, 1024, 2048, 4096, 8192]
+REPEATS = 3
+
+
+def run_experiment():
+    testbed = build_testbed()
+    testbed.storage.latency = LatencyModel(
+        profile=LAN_PROFILE.scaled(TIME_SCALE), sleep=True, rng=random.Random(4)
+    )
+    reader = StackSyncClient(
+        "bench-user", testbed.workspace, testbed.mom, testbed.storage, device_id="r1"
+    )
+    reader.start()
+
+    points = []
+    for size_kb in SIZES_KB:
+        samples = []
+        for repeat in range(REPEATS):
+            path = f"s{size_kb}k-{repeat}.dat"
+            content = generate_content(path, size_kb * 1024, seed=11)
+            t0 = time.perf_counter()
+            meta = testbed.client.put_file(path, content)
+            assert reader.wait_for_version(meta.item_id, meta.version, timeout=120)
+            samples.append(time.perf_counter() - t0)
+        points.append((size_kb, sum(samples) / len(samples)))
+
+    reader.stop()
+    testbed.close()
+    return points
+
+
+def test_fig7f_sync_time_vs_file_size(benchmark):
+    points = run_once(benchmark, run_experiment)
+
+    print(f"\nFig 7(f): sync time vs file size (LAN scaled x{TIME_SCALE})")
+    print(render_series(
+        "sync time (s) vs file size (KB)", [(kb, t) for kb, t in points],
+        x_label="file size KB",
+    ))
+    print(render_table(["size KB", "sync time s"], [[kb, t] for kb, t in points]))
+
+    times = dict(points)
+    # Monotone growth overall: the largest file is clearly the slowest.
+    assert times[8192] == max(times.values())
+    # Flat floor for small files: an 8x size increase (32 -> 256 KB)
+    # costs far less than 8x time (fixed path cost dominates).
+    assert times[256] < times[32] * 5
+    # Linear regime for large files: past the knee, doubling the size
+    # roughly doubles the time (within generous noise bounds).
+    assert times[8192] > times[2048] * 1.5
+    assert times[8192] > times[4096] * 1.2
+    # The large-file regime is transfer-bound: the 8 MB sync costs an
+    # order of magnitude more than the small-file floor.
+    assert times[8192] > 8 * times[32]

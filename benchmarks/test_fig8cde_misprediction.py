@@ -1,0 +1,108 @@
+"""Fig 8(c)/(d)/(e) — reactive correction of a misprediction (§5.3.3).
+
+The predictor is fooled into believing the expected pattern is that of
+hour 30 (= 6 a.m. next day, deep trough) while the observed workload is
+hour 20 of day 8 — a 10-hour period offset, exactly the paper's trick.
+
+Expected shape: the predictive allocation starts far too low (about one
+instance), response times blow past the SLA for the first few minutes,
+then the reactive provisioner detects λ_obs/λ_pred > 1 + τ₁, resizes
+from λ_obs via eq. (2), and response times drop sharply.
+"""
+
+from __future__ import annotations
+
+from conftest import (
+    UB1_PREDICTIVE_PERIOD,
+    UB1_REACTIVE_PERIOD,
+    UB1_SECONDS_PER_DAY,
+    run_once,
+)
+from test_fig8ab_autoscaling import build_combined
+
+from repro.bench import render_series, render_table
+from repro.elasticity import PAPER_PARAMETERS
+from repro.simulation import AutoscaleSimulation, SimConfig, fraction_above
+
+#: The experiment replays one hour of day 8 starting at hour 20...
+EXPERIMENT_HOUR = 20
+#: ...while the predictor reads the history of hour 30.
+PREDICTED_HOUR = 30
+
+
+def run_misprediction(ub1):
+    hour = UB1_SECONDS_PER_DAY // 24
+    day8 = ub1.day8()
+    window = day8[EXPERIMENT_HOUR * hour : (EXPERIMENT_HOUR + 2) * hour]
+
+    offset_periods = int(
+        ((PREDICTED_HOUR - EXPERIMENT_HOUR) * hour) / UB1_PREDICTIVE_PERIOD
+    )
+    fooled = build_combined(ub1, period_offset=offset_periods)
+    sim = AutoscaleSimulation(
+        window,
+        fooled,
+        SimConfig(
+            control_interval=5.0,
+            observation_window=15.0,
+            max_instances=32,
+            spawn_delay=1.0,
+            time_origin=EXPERIMENT_HOUR * hour,
+        ),
+    )
+    return sim.run()
+
+
+def test_fig8cde_misprediction(benchmark, ub1):
+    result = run_once(benchmark, lambda: run_misprediction(ub1))
+
+    minute = UB1_SECONDS_PER_DAY / (24 * 60)
+    records = result.control_records
+
+    print("\nFig 8(c): expected (hour-30) vs observed (hour-20) arrival rate")
+    print(render_series(
+        "lambda_obs (req/s) vs minute",
+        [(r.timestamp / minute, r.lam_obs) for r in records],
+    ))
+    print(render_series(
+        "lambda_pred (req/s) vs minute",
+        [(r.timestamp / minute, r.lam_pred) for r in records],
+    ))
+    print("Fig 8(d): instances vs minute (reactive correction)")
+    print(render_series(
+        "instances vs minute",
+        [(r.timestamp / minute, r.capacity_before) for r in records],
+    ))
+    p95 = result.response_percentile_series(bucket=minute * 5, fraction=0.95)
+    print("Fig 8(e): p95 response time per 5-minute bucket (s)")
+    print(render_series(
+        "p95 response (s) vs minute", [(t / minute, v) for t, v in p95]
+    ))
+
+    # Fig 8(c): the prediction grossly underestimates the observed load.
+    steady = [r for r in records if r.timestamp > 30]
+    mean_obs = sum(r.lam_obs for r in steady) / len(steady)
+    mean_pred = sum(r.lam_pred for r in steady) / len(steady)
+    assert mean_pred < mean_obs * 0.5, "predictor must be badly fooled"
+
+    # Fig 8(d): initial allocation ~1 instance; reactive correction grows
+    # the pool to what the observed rate needs.
+    assert records[0].capacity_before <= 2
+    corrected = result.max_capacity()
+    assert corrected >= 4
+
+    # Fig 8(e): early window violates the SLA heavily, late window is
+    # healthy — the sharp drop after the reactive correction.
+    early = [rt for t, rt in result.response_samples if t < 30]
+    late = [rt for t, rt in result.response_samples if t > 120]
+    d = PAPER_PARAMETERS.d
+    assert fraction_above(early, d) > 0.3, "under-provisioned start"
+    assert fraction_above(late, d) < 0.05, "reactive correction restores SLA"
+
+    print(render_table(
+        ["phase", "SLA violations"],
+        [
+            ["first 30 compressed-s (10 real min)", fraction_above(early, d)],
+            ["after correction", fraction_above(late, d)],
+        ],
+    ))

@@ -1,0 +1,175 @@
+"""Fig 8(f) — fault tolerance of ObjectMQ auto-scaling (§5.3.4).
+
+Live experiment on the real stack: a single SyncService instance serves
+commit requests (one-instance workload, as in the paper's first 10
+minutes of day 8) while a fault injector crashes the instance on a fixed
+period.  The Supervisor's census loop detects the missing instance and
+respawns it; in-flight commits are redelivered from the queue, so nothing
+is lost.
+
+Time is scaled 60x against the paper (crash every 0.5 s instead of 30 s,
+Supervisor period ~17 ms instead of 1 s) so the run takes seconds.
+Expected shape: response time rises notably under crashes, yet the extra
+delay stays bounded (the paper: below 1 s at scale 1, i.e. the penalty is
+a small multiple of the healthy response time, not an outage) and every
+request completes.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import uuid
+
+from conftest import run_once
+
+from repro.bench import render_boxplot_row
+from repro.metadata import MemoryMetadataBackend
+from repro.mom import MessageBroker
+from repro.objectmq import Broker, CrashInjector, FixedProvisioner, RemoteBroker, Supervisor
+from repro.simulation import boxplot_stats
+from repro.sync import (
+    SYNC_SERVICE_OID,
+    SyncServiceApi,
+    Workspace,
+    sync_service_factory,
+    workspace_oid,
+)
+from repro.sync.models import ItemMetadata
+
+#: 60x time compression vs the paper.
+SUPERVISOR_PERIOD = 1.0 / 60
+CRASH_PERIOD = 30.0 / 60
+RUN_SECONDS = 10.0
+REQUEST_RATE = 40.0  # commit requests per second
+
+
+class CommitProbe:
+    """Sends commits and measures send→notifyCommit round-trip times."""
+
+    def __init__(self, broker: Broker, workspace: Workspace):
+        self.proxy = broker.lookup(SYNC_SERVICE_OID, SyncServiceApi)
+        self.workspace = workspace
+        self._lock = threading.Lock()
+        self._done = threading.Condition(self._lock)
+        self._seen = set()
+        broker.bind(workspace_oid(workspace.workspace_id), self)
+        self._counter = 0
+
+    def notify_commit(self, notification) -> None:
+        with self._done:
+            self._seen.add(notification.request_id)
+            self._done.notify_all()
+
+    def commit_once(self, timeout: float = 10.0) -> float:
+        self._counter += 1
+        request_id = uuid.uuid4().hex
+        item = ItemMetadata(
+            item_id=f"{self.workspace.workspace_id}:probe-{self._counter}",
+            workspace_id=self.workspace.workspace_id,
+            version=1,
+            filename=f"probe-{self._counter}",
+            device_id="probe",
+        )
+        started = time.perf_counter()
+        self.proxy.commit_request(
+            self.workspace.workspace_id, "probe", [item], request_id=request_id
+        )
+        deadline = time.monotonic() + timeout
+        with self._done:
+            while request_id not in self._seen:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return float("nan")
+                self._done.wait(remaining)
+        return time.perf_counter() - started
+
+
+def run_experiment():
+    mom = MessageBroker()
+    metadata = MemoryMetadataBackend()
+    metadata.create_user("u")
+    workspace = Workspace(workspace_id="ws-ft", owner="u")
+    metadata.create_workspace(workspace)
+
+    host_broker = Broker(mom)
+    rbroker = RemoteBroker(host_broker)
+    rbroker.register_factory(
+        SYNC_SERVICE_OID, sync_service_factory(metadata, host_broker)
+    )
+    rbroker.serve()
+
+    sup_broker = Broker(mom)
+    supervisor = Supervisor(
+        sup_broker,
+        SYNC_SERVICE_OID,
+        FixedProvisioner(1),
+        control_interval=SUPERVISOR_PERIOD,
+    )
+    supervisor.step()  # spawn the initial instance synchronously
+    supervisor.start()
+
+    injector = CrashInjector(
+        [rbroker], SYNC_SERVICE_OID, period=CRASH_PERIOD
+    )
+    crash_times = []
+    injector.on_crash = lambda _iid: crash_times.append(time.perf_counter())
+    injector.start()
+
+    client_broker = Broker(mom)
+    probe = CommitProbe(client_broker, workspace)
+
+    samples = []  # (timestamp, response_time)
+    started = time.perf_counter()
+    interval = 1.0 / REQUEST_RATE
+    while time.perf_counter() - started < RUN_SECONDS:
+        t0 = time.perf_counter()
+        rt = probe.commit_once()
+        samples.append((t0 - started, rt))
+        sleep_left = interval - (time.perf_counter() - t0)
+        if sleep_left > 0:
+            time.sleep(sleep_left)
+
+    injector.stop()
+    supervisor.stop()
+    client_broker.close()
+    sup_broker.close()
+    rbroker.stop()
+    host_broker.close()
+    mom.close()
+
+    # Label each sample: "down" if issued within a recovery window after a
+    # crash (crash period scaled: detection + respawn take a few
+    # supervisor periods).
+    recovery_window = 6 * SUPERVISOR_PERIOD
+    crash_offsets = [t - started for t in crash_times]
+    down, up = [], []
+    for t, rt in samples:
+        in_window = any(0 <= t - c <= recovery_window for c in crash_offsets)
+        (down if in_window else up).append(rt)
+    return up, down, len(crash_offsets), samples
+
+
+def test_fig8f_fault_tolerance(benchmark):
+    up, down, crashes, samples = run_once(benchmark, run_experiment)
+
+    up_stats = boxplot_stats(up)
+    down_stats = boxplot_stats(down)
+    print(f"\nFig 8(f): response time with an instance crashing every "
+          f"{CRASH_PERIOD:.2f}s ({crashes} crashes, 60x time compression)")
+    print(render_boxplot_row("running", up_stats, unit_scale=1000, unit="ms"))
+    print(render_boxplot_row("down", down_stats, unit_scale=1000, unit="ms"))
+
+    # Sanity: the injector actually crashed instances, repeatedly.
+    assert crashes >= int(RUN_SECONDS / CRASH_PERIOD) - 2
+    # No request is ever lost: every commit got its notification.
+    assert all(rt == rt for _t, rt in samples), "a commit timed out (NaN)"
+    # Crashes hurt: the recovery-window tail is well above the healthy
+    # median (requests caught in-flight wait for redelivery/respawn).
+    assert down_stats.count > 0 and up_stats.count > 0
+    assert down_stats.maximum > 3 * up_stats.median
+    # ...but the penalty is bounded: the paper reports < 1 s of extra
+    # delay at scale 1 (= ~17 ms at our 60x compression; allow generous
+    # scheduler noise on top).
+    assert down_stats.maximum < 1.0
+    assert up_stats.median < 0.05

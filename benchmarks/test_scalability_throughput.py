@@ -1,0 +1,106 @@
+"""Extension — commit throughput vs SyncService pool size (live stack).
+
+Not a paper figure, but the property the whole architecture exists to
+deliver: because commitRequest is asynchronous and stateless, adding
+instances behind the shared queue multiplies throughput without touching
+clients ("rapid elasticity", §4.2.1).  Each instance carries the paper's
+measured ~50 ms service time (scaled to 10 ms); a fixed burst of commits
+is timed end-to-end for pools of 1, 2 and 4 instances.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import uuid
+
+from conftest import run_once
+
+from repro.bench import render_table
+from repro.metadata import MemoryMetadataBackend
+from repro.mom import MessageBroker
+from repro.objectmq import Broker
+from repro.sync import (
+    SYNC_SERVICE_OID,
+    SyncService,
+    SyncServiceApi,
+    Workspace,
+    workspace_oid,
+)
+from repro.sync.models import ItemMetadata
+
+COMMITS = 120
+SERVICE_DELAY = 0.010  # the paper's 50 ms commit cost, scaled 5x
+
+
+class _Counter:
+    def __init__(self, expected):
+        self.expected = expected
+        self._count = 0
+        self._done = threading.Event()
+
+    def notify_commit(self, notification) -> None:
+        self._count += 1
+        if self._count >= self.expected:
+            self._done.set()
+
+    def wait(self, timeout):
+        return self._done.wait(timeout)
+
+
+def run_pool(instances: int) -> float:
+    mom = MessageBroker()
+    metadata = MemoryMetadataBackend()
+    metadata.create_user("u")
+    workspace = Workspace(workspace_id=f"ws-{instances}", owner="u")
+    metadata.create_workspace(workspace)
+
+    server = Broker(mom)
+    for _ in range(instances):
+        service = SyncService(metadata, server, service_delay=lambda: SERVICE_DELAY)
+        server.bind(SYNC_SERVICE_OID, service)
+
+    client = Broker(mom)
+    counter = _Counter(COMMITS)
+    client.bind(workspace_oid(workspace.workspace_id), counter)
+    proxy = client.lookup(SYNC_SERVICE_OID, SyncServiceApi)
+
+    started = time.perf_counter()
+    for i in range(COMMITS):
+        item = ItemMetadata(
+            item_id=f"{workspace.workspace_id}:f{i}",
+            workspace_id=workspace.workspace_id,
+            version=1,
+            filename=f"f{i}",
+            device_id="gen",
+        )
+        proxy.commit_request(
+            workspace.workspace_id, "gen", [item], request_id=uuid.uuid4().hex
+        )
+    assert counter.wait(timeout=60.0), "not all commits completed"
+    elapsed = time.perf_counter() - started
+
+    client.close()
+    server.close()
+    mom.close()
+    return elapsed
+
+
+def test_scalability_throughput(benchmark):
+    results = run_once(
+        benchmark, lambda: {n: run_pool(n) for n in (1, 2, 4)}
+    )
+
+    rows = [
+        [n, round(t, 2), round(COMMITS / t, 1), round(results[1] / t, 2)]
+        for n, t in results.items()
+    ]
+    print(f"\nExtension: {COMMITS} commits at {SERVICE_DELAY * 1000:.0f} ms "
+          "service time, by pool size")
+    print(render_table(["Instances", "Seconds", "Commits/s", "Speedup"], rows))
+
+    # Queue-based load balancing turns instances into throughput.
+    assert results[2] < results[1] / 1.5
+    assert results[4] < results[2] / 1.4
+    # Single instance is bounded by the service time (sanity).
+    assert results[1] >= COMMITS * SERVICE_DELAY * 0.9

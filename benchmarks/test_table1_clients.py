@@ -1,0 +1,31 @@
+"""Table 1 — desktop client versions used in the evaluation."""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.baselines import TABLE1_CLIENT_VERSIONS
+from repro.bench import render_table
+
+#: Table 1 of the paper, verbatim.
+PAPER_TABLE1 = {
+    "StackSync": "1.6.4",
+    "Dropbox": "2.6.33",
+    "Microsoft OneDrive": "17.0.4035.0328",
+    "Amazon Cloud Drive": "2.4.2013.3290",
+    "Google Drive": "1.15.6430.6825",
+    "Box": "4.0.4925",
+}
+
+
+def test_table1_client_versions(benchmark):
+    def build():
+        return render_table(
+            ["Client name", "Version"],
+            [[name, version] for name, version in TABLE1_CLIENT_VERSIONS.items()],
+        )
+
+    table = run_once(benchmark, build)
+    print("\nTable 1: Used Desktop Clients Version")
+    print(table)
+    assert TABLE1_CLIENT_VERSIONS == PAPER_TABLE1

@@ -1,0 +1,61 @@
+"""Table 2 — effect of file bundling (batch sizes 5/10/20/40).
+
+The paper replays the full trace with operations grouped into batches.
+Expected shape: control traffic decreases monotonically with batch size
+for both systems; Dropbox's control stays above StackSync's at every
+batch size; and Dropbox's *total* remains above StackSync's (storage
+dominates and Dropbox neither compresses nor, for updates, needs to
+re-upload less than its inflated payloads).
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+
+from repro.baselines import DROPBOX
+from repro.bench import mb, render_table, replay_profile, replay_stacksync
+
+BATCH_SIZES = (5, 10, 20, 40)
+
+
+def run_bundling(paper_trace):
+    results = {}
+    for batch in BATCH_SIZES:
+        results[("Dropbox", batch)] = replay_profile(
+            paper_trace, DROPBOX, batch_size=batch, compressible_fraction=0.05
+        )
+        results[("StackSync", batch)] = replay_stacksync(
+            paper_trace, batch_size=batch, compressible_fraction=0.05
+        )
+    return results
+
+
+def test_table2_file_bundling(benchmark, paper_trace):
+    results = run_once(benchmark, lambda: run_bundling(paper_trace))
+
+    rows = []
+    for system in ("Dropbox", "StackSync"):
+        for batch in BATCH_SIZES:
+            report = results[(system, batch)]
+            rows.append(
+                [
+                    system,
+                    batch,
+                    mb(report.control_bytes),
+                    mb(report.storage_bytes),
+                    mb(report.total_bytes),
+                ]
+            )
+    print("\nTable 2: Effect of File Bundling (MB)")
+    print(render_table(["System", "Batch size", "Control", "Storage", "Total"], rows))
+
+    for system in ("Dropbox", "StackSync"):
+        controls = [results[(system, b)].control_bytes for b in BATCH_SIZES]
+        # Control traffic shrinks as the batch grows (Table 2 rows).
+        assert controls == sorted(controls, reverse=True), system
+
+    for batch in BATCH_SIZES:
+        dropbox = results[("Dropbox", batch)]
+        stacksync = results[("StackSync", batch)]
+        assert dropbox.control_bytes > stacksync.control_bytes
+        assert dropbox.total_bytes > stacksync.total_bytes

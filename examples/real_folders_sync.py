@@ -1,0 +1,109 @@
+#!/usr/bin/env python
+"""Sync two *real* directories on disk, continuously, like the desktop app.
+
+Creates two temporary folders, attaches a StackSyncClient with a running
+background watcher to each, and demonstrates live convergence: drop a
+file into one folder, watch it appear in the other — including nested
+paths, edits and deletions.
+
+    python examples/real_folders_sync.py
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import time
+
+from repro.client import DirectoryFilesystem, StackSyncClient
+from repro.metadata import MemoryMetadataBackend
+from repro.mom import MessageBroker
+from repro.objectmq import Broker
+from repro.storage import SwiftLikeStore
+from repro.sync import SYNC_SERVICE_OID, SyncService, Workspace
+
+
+def wait_until(predicate, timeout=10.0, interval=0.1):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return predicate()
+
+
+def main() -> None:
+    mom = MessageBroker()
+    metadata = MemoryMetadataBackend()
+    storage = SwiftLikeStore()
+    metadata.create_user("me")
+    workspace = Workspace(workspace_id="ws-folders", owner="me")
+    metadata.create_workspace(workspace)
+    server = Broker(mom)
+    server.bind(SYNC_SERVICE_OID, SyncService(metadata, server))
+
+    with tempfile.TemporaryDirectory() as dir_a, tempfile.TemporaryDirectory() as dir_b:
+        print(f"folder A: {dir_a}")
+        print(f"folder B: {dir_b}\n")
+
+        client_a = StackSyncClient(
+            "me", workspace, mom, storage,
+            device_id="dev-a", fs=DirectoryFilesystem(dir_a),
+        )
+        client_b = StackSyncClient(
+            "me", workspace, mom, storage,
+            device_id="dev-b", fs=DirectoryFilesystem(dir_b),
+        )
+        client_a.start()
+        client_b.start()
+        # Background watchers: changes made with plain file operations
+        # are detected and synced automatically.
+        client_a.watcher.interval = 0.1
+        client_b.watcher.interval = 0.1
+        client_a.watcher.start()
+        client_b.watcher.start()
+
+        print("writing report.txt into folder A with plain open()...")
+        with open(os.path.join(dir_a, "report.txt"), "w") as fh:
+            fh.write("quarterly numbers\n")
+        assert wait_until(
+            lambda: os.path.exists(os.path.join(dir_b, "report.txt"))
+        ), "file did not appear in folder B"
+        print("  -> appeared in folder B")
+
+        print("editing it from folder B...")
+        with open(os.path.join(dir_b, "report.txt"), "a") as fh:
+            fh.write("now with commentary\n")
+        assert wait_until(
+            lambda: "commentary"
+            in open(os.path.join(dir_a, "report.txt")).read()
+        ), "edit did not propagate to folder A"
+        print("  -> edit propagated to folder A")
+
+        print("creating a nested path in folder A...")
+        os.makedirs(os.path.join(dir_a, "projects", "stacksync"), exist_ok=True)
+        with open(
+            os.path.join(dir_a, "projects", "stacksync", "notes.md"), "w"
+        ) as fh:
+            fh.write("# notes\n")
+        nested_b = os.path.join(dir_b, "projects", "stacksync", "notes.md")
+        assert wait_until(lambda: os.path.exists(nested_b))
+        print("  -> nested file landed in folder B")
+
+        print("deleting report.txt from folder B...")
+        os.remove(os.path.join(dir_b, "report.txt"))
+        assert wait_until(
+            lambda: not os.path.exists(os.path.join(dir_a, "report.txt"))
+        )
+        print("  -> deletion propagated to folder A")
+
+        client_a.stop()
+        client_b.stop()
+
+    server.close()
+    mom.close()
+    print("\nboth folders converged at every step. done.")
+
+
+if __name__ == "__main__":
+    main()

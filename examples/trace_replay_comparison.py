@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Replay a Personal-Cloud workload trace against StackSync and Dropbox.
+
+Generates a miniature version of the paper's §5.2 benchmark trace (the
+Markov N/M/U/D file model with Homes-dataset probabilities), replays it
+through the real StackSync stack and through the simulated Dropbox
+client, and prints the traffic comparison — a pocket Fig 7(b)-(d).
+
+    python examples/trace_replay_comparison.py
+"""
+
+from __future__ import annotations
+
+from repro.baselines import COMMERCIAL_PROFILES
+from repro.bench import mb, overhead_comparison, render_table
+from repro.workload import TraceGenerator
+from repro.workload.trace import OP_ADD, OP_REMOVE, OP_UPDATE
+
+
+def main() -> None:
+    trace = TraceGenerator(seed=7, snapshots=40, scale=0.05).generate()
+    summary = trace.summary()
+    print("generated trace:")
+    print(render_table(
+        ["ADDs", "UPDATEs", "REMOVEs", "volume MB", "mean file KB"],
+        [[
+            summary["adds"],
+            summary["updates"],
+            summary["removes"],
+            round(summary["add_volume_mb"], 1),
+            round(summary["mean_file_size_kb"], 1),
+        ]],
+    ))
+
+    print("\nreplaying against StackSync (real stack) and 5 provider models...")
+    reports = overhead_comparison(trace, COMMERCIAL_PROFILES, compressible_fraction=0.05)
+    benchmark_size = trace.add_volume
+
+    rows = []
+    for name, report in sorted(
+        reports.items(), key=lambda kv: kv[1].overhead_ratio(benchmark_size)
+    ):
+        rows.append([
+            name,
+            mb(report.control_bytes),
+            mb(report.storage_bytes),
+            report.overhead_ratio(benchmark_size),
+        ])
+    print(render_table(["Provider", "Control MB", "Storage MB", "Overhead"], rows))
+
+    stacksync = reports["StackSync"]
+    dropbox = reports["Dropbox"]
+    print("\nper-action breakdown (StackSync vs Dropbox, MB):")
+    print(render_table(
+        ["Action", "SS control", "DB control", "SS storage", "DB storage"],
+        [
+            [
+                action,
+                mb(stacksync.by_action_control.get(action, 0)),
+                mb(dropbox.by_action_control.get(action, 0)),
+                mb(stacksync.by_action_storage.get(action, 0)),
+                mb(dropbox.by_action_storage.get(action, 0)),
+            ]
+            for action in (OP_ADD, OP_UPDATE, OP_REMOVE)
+        ],
+    ))
+    print("\ntakeaways (the paper's Fig 7 shape):")
+    print(" * Dropbox pays heavy per-operation control signalling;")
+    print(" * StackSync moves less ADD storage (compression + per-user dedup);")
+    print(" * Dropbox wins UPDATEs via rsync deltas, StackSync re-uploads chunks.")
+
+
+if __name__ == "__main__":
+    main()

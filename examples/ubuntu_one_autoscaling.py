@@ -1,0 +1,85 @@
+#!/usr/bin/env python
+"""Replay a synthetic Ubuntu One day through the elastic SyncService pool.
+
+Trains the predictive provisioner on a week of 15-minute arrival
+summaries, replays "day 8" through the G/G/c simulation with the
+combined predictive+reactive policy, and renders the paper's Fig 8(a)/(b)
+as ASCII charts — instance counts mimicking the diurnal workload and
+response times holding the 450 ms SLA.
+
+    python examples/ubuntu_one_autoscaling.py
+"""
+
+from __future__ import annotations
+
+from repro.bench import render_series
+from repro.elasticity import (
+    CombinedProvisioner,
+    PAPER_PARAMETERS,
+    PredictiveProvisioner,
+    ReactiveProvisioner,
+)
+from repro.simulation import AutoscaleSimulation, SimConfig
+from repro.workload import UB1Config, UbuntuOneTraceGenerator
+
+SECONDS_PER_DAY = 4320  # 20x time compression
+PREDICTIVE_PERIOD = 900 / 20
+REACTIVE_PERIOD = 300 / 20
+
+
+def main() -> None:
+    generator = UbuntuOneTraceGenerator(UB1Config(seconds_per_day=SECONDS_PER_DAY))
+
+    predictive = PredictiveProvisioner(
+        period=PREDICTIVE_PERIOD, day_length=SECONDS_PER_DAY
+    )
+    predictive.load_history(
+        generator.week_history_summaries(period=PREDICTIVE_PERIOD)
+    )
+    policy = CombinedProvisioner(
+        predictive,
+        ReactiveProvisioner(predictive=predictive),
+        predictive_interval=PREDICTIVE_PERIOD,
+        reactive_interval=REACTIVE_PERIOD,
+    )
+
+    day8 = generator.day8()
+    print(f"day-8 peak: {generator.peak_of(day8):.0f} commit requests/minute "
+          f"(paper: 8,514)")
+    print("simulating the full day through the G/G/c pool...")
+    result = AutoscaleSimulation(
+        day8,
+        policy,
+        SimConfig(
+            control_interval=5.0,
+            observation_window=15.0,
+            max_instances=32,
+            spawn_delay=1.0,
+        ),
+    ).run()
+
+    hour = SECONDS_PER_DAY / 24
+    print("\nFig 8(a) — workload:")
+    print(render_series(
+        "arrivals (req/s) vs hour",
+        [(t / hour, r) for t, r in enumerate(day8) if t % 30 == 0],
+    ))
+    print("\nFig 8(a) — instances:")
+    print(render_series(
+        "SyncService instances vs hour",
+        [(t / hour, c) for t, c in result.capacity_series()],
+    ))
+    print("\nFig 8(b) — response time (p95 per hour):")
+    print(render_series(
+        "p95 response (s) vs hour",
+        [(t / hour, v) for t, v in result.response_percentile_series(bucket=hour)],
+    ))
+    print(f"\npeak instances: {result.max_capacity()}")
+    print(f"requests served: {result.total_completed:,} "
+          f"(arrivals {result.total_arrivals:,}; none lost)")
+    print(f"SLA({PAPER_PARAMETERS.d * 1000:.0f} ms) violations: "
+          f"{result.sla_violation_fraction() * 100:.2f}%")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""StackSync reproduction: elastic Dropbox-like file synchronization.
+
+A from-scratch Python implementation of the system described in
+*StackSync: Bringing Elasticity to Dropbox-like File Synchronization*
+(Garcia Lopez et al., ACM/IFIP/USENIX Middleware 2014):
+
+* :mod:`repro.objectmq` — ObjectMQ, the elastic MOM-RPC middleware (the
+  paper's core contribution), over
+* :mod:`repro.mom` — an AMQP-semantics message broker,
+* :mod:`repro.sync` + :mod:`repro.client` — the StackSync protocol,
+  SyncService and desktop client,
+* :mod:`repro.metadata` / :mod:`repro.storage` — the metadata and storage
+  back-ends,
+* :mod:`repro.elasticity` — G/G/1 capacity planning with predictive and
+  reactive provisioning,
+* :mod:`repro.workload` / :mod:`repro.baselines` /
+  :mod:`repro.simulation` / :mod:`repro.bench` — everything needed to
+  regenerate the paper's evaluation.
+
+Quickstart::
+
+    from repro.mom import MessageBroker
+    from repro.objectmq import Broker
+    from repro.metadata import MemoryMetadataBackend
+    from repro.storage import SwiftLikeStore
+    from repro.sync import SyncService, SYNC_SERVICE_OID, Workspace
+    from repro.client import StackSyncClient
+
+    mom = MessageBroker()
+    metadata = MemoryMetadataBackend()
+    storage = SwiftLikeStore()
+    metadata.create_user("alice")
+    ws = Workspace(workspace_id="ws1", owner="alice")
+    metadata.create_workspace(ws)
+
+    server = Broker(mom)
+    server.bind(SYNC_SERVICE_OID, SyncService(metadata, server))
+
+    laptop = StackSyncClient("alice", ws, mom, storage, device_id="laptop")
+    phone = StackSyncClient("alice", ws, mom, storage, device_id="phone")
+    laptop.start(); phone.start()
+
+    meta = laptop.put_file("hello.txt", b"hi from the laptop")
+    phone.wait_for_version(meta.item_id, meta.version)
+    assert phone.fs.read("hello.txt") == b"hi from the laptop"
+"""
+
+__version__ = "1.0.0"
+
+from repro import errors
+
+__all__ = ["errors", "__version__"]

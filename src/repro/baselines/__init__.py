@@ -1,0 +1,38 @@
+"""Simulated commercial baselines: delta encoding + provider profiles."""
+
+from repro.baselines.baseline_client import ProfileClient, TrafficReport
+from repro.baselines.delta import (
+    Delta,
+    Signature,
+    apply_delta,
+    compute_delta,
+    compute_signature,
+)
+from repro.baselines.provider_profiles import (
+    AMAZON_CLOUD_DRIVE,
+    BOX,
+    COMMERCIAL_PROFILES,
+    DROPBOX,
+    GOOGLE_DRIVE,
+    ONEDRIVE,
+    ProviderProfile,
+    TABLE1_CLIENT_VERSIONS,
+)
+
+__all__ = [
+    "AMAZON_CLOUD_DRIVE",
+    "BOX",
+    "COMMERCIAL_PROFILES",
+    "DROPBOX",
+    "GOOGLE_DRIVE",
+    "ONEDRIVE",
+    "Delta",
+    "ProfileClient",
+    "ProviderProfile",
+    "Signature",
+    "TABLE1_CLIENT_VERSIONS",
+    "TrafficReport",
+    "apply_delta",
+    "compute_delta",
+    "compute_signature",
+]

@@ -1,0 +1,109 @@
+"""ASCII rendering of tables and figure-series for the benchmark harness.
+
+Every benchmark prints the rows/series the corresponding paper artifact
+reports, via these helpers, so ``pytest benchmarks/ --benchmark-only -s``
+regenerates a textual version of each table and figure.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Fixed-width ASCII table."""
+    columns = [str(h) for h in headers]
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in columns]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    line = "+-" + "-+-".join("-" * w for w in widths) + "-+"
+    out = [line, "| " + " | ".join(h.ljust(w) for h, w in zip(columns, widths)) + " |", line]
+    for row in str_rows:
+        out.append("| " + " | ".join(c.rjust(w) for c, w in zip(row, widths)) + " |")
+    out.append(line)
+    return "\n".join(out)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        if abs(cell) >= 100:
+            return f"{cell:.1f}"
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def render_series(
+    title: str,
+    points: Sequence[Tuple[float, float]],
+    width: int = 72,
+    height: int = 12,
+    y_label: str = "",
+    x_label: str = "",
+) -> str:
+    """Coarse ASCII line chart of an (x, y) series."""
+    if not points:
+        return f"{title}\n  (no data)"
+    xs = [p[0] for p in points]
+    ys = [p[1] for p in points]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    if x_max == x_min:
+        x_max = x_min + 1
+    if y_max == y_min:
+        y_max = y_min + 1
+
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in points:
+        col = int((x - x_min) / (x_max - x_min) * (width - 1))
+        row = int((y - y_min) / (y_max - y_min) * (height - 1))
+        grid[height - 1 - row][col] = "*"
+
+    lines = [title]
+    for i, row in enumerate(grid):
+        if i == 0:
+            label = f"{y_max:10.2f} |"
+        elif i == height - 1:
+            label = f"{y_min:10.2f} |"
+        else:
+            label = " " * 10 + " |"
+        lines.append(label + "".join(row))
+    lines.append(" " * 11 + "+" + "-" * width)
+    lines.append(
+        " " * 11 + f"{x_min:<12.1f}{x_label:^{max(0, width - 24)}}{x_max:>12.1f}"
+    )
+    if y_label:
+        lines.insert(1, f"  [{y_label}]")
+    return "\n".join(lines)
+
+
+def render_boxplot_row(label: str, stats, unit_scale: float = 1.0, unit: str = "") -> str:
+    """One textual boxplot: min [Q1 | median | Q3] max."""
+    return (
+        f"{label:>10s}: min={stats.minimum * unit_scale:8.2f}{unit} "
+        f"[Q1={stats.q1 * unit_scale:8.2f}{unit} "
+        f"med={stats.median * unit_scale:8.2f}{unit} "
+        f"Q3={stats.q3 * unit_scale:8.2f}{unit}] "
+        f"max={stats.maximum * unit_scale:8.2f}{unit} (n={stats.count})"
+    )
+
+
+def render_cdf(
+    title: str, values: Sequence[float], probes: Sequence[float], fmt=lambda v: f"{v:.0f}"
+) -> str:
+    """Textual CDF: P(X <= probe) for each probe value."""
+    ordered = sorted(values)
+    n = len(ordered)
+    lines = [title]
+    for probe in probes:
+        count = sum(1 for v in ordered if v <= probe)
+        fraction = count / n if n else 0.0
+        bar = "#" * int(fraction * 50)
+        lines.append(f"  <= {fmt(probe):>10s}: {fraction * 100:6.2f}% {bar}")
+    return "\n".join(lines)
+
+
+def mb(nbytes: float) -> float:
+    """Bytes → megabytes (SI-ish, as the paper reports)."""
+    return nbytes / (1024 * 1024)

@@ -1,0 +1,173 @@
+"""Command-line interface for exploring the reproduction.
+
+Installed as ``stacksync-repro`` (see pyproject); also runnable as
+``python -m repro.cli``.  Subcommands:
+
+* ``trace``       — generate a §5.2 workload trace and print its summary;
+* ``ub1``         — print the synthetic Ubuntu One day profile;
+* ``capacity``    — evaluate equations (1)-(2) for a given arrival rate;
+* ``experiments`` — list every paper artifact and its benchmark target;
+* ``demo``        — run the in-process two-device sync demo.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.bench.experiments import EXPERIMENTS
+from repro.bench.reporting import render_series, render_table
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.workload import TraceGenerator
+
+    trace = TraceGenerator(
+        initial_files=args.initial_files,
+        training_iterations=args.training,
+        snapshots=args.snapshots,
+        seed=args.seed,
+        scale=args.scale,
+    ).generate()
+    summary = trace.summary()
+    print(render_table(
+        ["metric", "value"],
+        [
+            ["operations", summary["ops"]],
+            ["ADDs", summary["adds"]],
+            ["UPDATEs", summary["updates"]],
+            ["REMOVEs", summary["removes"]],
+            ["ADD volume (MB)", round(summary["add_volume_mb"], 2)],
+            ["mean file size (KB)", round(summary["mean_file_size_kb"], 1)],
+        ],
+    ))
+    return 0
+
+
+def _cmd_ub1(args: argparse.Namespace) -> int:
+    from repro.workload import UB1Config, UbuntuOneTraceGenerator
+
+    generator = UbuntuOneTraceGenerator(
+        UB1Config(seconds_per_day=args.resolution), seed=args.seed
+    )
+    arrivals = generator.arrivals(args.day)
+    hour = args.resolution / 24
+    print(render_series(
+        f"UB1 day {args.day}: arrivals (req/s) vs hour",
+        [(t / hour, rate) for t, rate in enumerate(arrivals) if t % 10 == 0],
+    ))
+    print(f"peak: {generator.peak_of(arrivals):.0f} requests/minute "
+          f"(paper day-8 peak: 8,514)")
+    return 0
+
+
+def _cmd_capacity(args: argparse.Namespace) -> int:
+    from repro.elasticity import GG1CapacityModel, SlaParameters
+
+    params = SlaParameters(d=args.sla / 1000.0, s=args.service / 1000.0)
+    model = GG1CapacityModel(params)
+    delta = model.per_server_rate(ca2=args.ca2)
+    eta = model.instances_for(args.rate, ca2=args.ca2)
+    print(render_table(
+        ["quantity", "value"],
+        [
+            ["SLA d", f"{args.sla:.0f} ms"],
+            ["mean service time s", f"{args.service:.0f} ms"],
+            ["arrival CV^2", args.ca2],
+            ["per-server rate delta (eq. 1)", f"{delta:.2f} req/s"],
+            [f"instances for {args.rate:.0f} req/s (eq. 2)", eta],
+        ],
+    ))
+    return 0
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    rows = [
+        [e.exp_id, e.paper_artifact, e.bench_file]
+        for e in EXPERIMENTS.values()
+    ]
+    print(render_table(["id", "paper artifact", "bench target"], rows))
+    print("\nrun them with: pytest benchmarks/ --benchmark-only -s")
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from repro.client import StackSyncClient
+    from repro.metadata import MemoryMetadataBackend
+    from repro.mom import MessageBroker
+    from repro.objectmq import Broker
+    from repro.storage import SwiftLikeStore
+    from repro.sync import SYNC_SERVICE_OID, SyncService, Workspace
+
+    mom = MessageBroker()
+    metadata = MemoryMetadataBackend()
+    storage = SwiftLikeStore()
+    metadata.create_user("demo")
+    workspace = Workspace(workspace_id="ws-demo", owner="demo")
+    metadata.create_workspace(workspace)
+    server = Broker(mom)
+    server.bind(SYNC_SERVICE_OID, SyncService(metadata, server))
+
+    laptop = StackSyncClient("demo", workspace, mom, storage, device_id="laptop")
+    phone = StackSyncClient("demo", workspace, mom, storage, device_id="phone")
+    laptop.start()
+    phone.start()
+    meta = laptop.put_file("hello.txt", b"hello from the laptop")
+    phone.wait_for_version(meta.item_id, meta.version, timeout=10)
+    print("phone received:", phone.fs.read("hello.txt").decode())
+    laptop.stop()
+    phone.stop()
+    server.close()
+    mom.close()
+    print("demo complete: two devices synced through the full stack.")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="stacksync-repro",
+        description="StackSync (Middleware 2014) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    trace = sub.add_parser("trace", help="generate a workload trace summary")
+    trace.add_argument("--initial-files", type=int, default=20)
+    trace.add_argument("--training", type=int, default=5)
+    trace.add_argument("--snapshots", type=int, default=100)
+    trace.add_argument("--seed", type=int, default=7)
+    trace.add_argument("--scale", type=float, default=1.0)
+    trace.set_defaults(func=_cmd_trace)
+
+    ub1 = sub.add_parser("ub1", help="print a synthetic Ubuntu One day")
+    ub1.add_argument("--day", type=int, default=8)
+    ub1.add_argument("--seed", type=int, default=2013)
+    ub1.add_argument(
+        "--resolution", type=int, default=4320,
+        help="trace seconds per day (86400 = real time)",
+    )
+    ub1.set_defaults(func=_cmd_ub1)
+
+    capacity = sub.add_parser("capacity", help="evaluate equations (1)-(2)")
+    capacity.add_argument("rate", type=float, help="arrival rate, req/s")
+    capacity.add_argument("--sla", type=float, default=450.0, help="d in ms")
+    capacity.add_argument("--service", type=float, default=50.0, help="s in ms")
+    capacity.add_argument("--ca2", type=float, default=1.0)
+    capacity.set_defaults(func=_cmd_capacity)
+
+    experiments = sub.add_parser("experiments", help="list paper artifacts")
+    experiments.set_defaults(func=_cmd_experiments)
+
+    demo = sub.add_parser("demo", help="run the two-device sync demo")
+    demo.set_defaults(func=_cmd_demo)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

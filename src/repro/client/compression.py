@@ -1,0 +1,78 @@
+"""Chunk compression (§4.1).
+
+"The chunks are always compressed before transmission using Gzip or
+Bzip2, albeit other compression algorithms can be easily plugged into the
+system."  Codecs share a two-method protocol and register by name.
+"""
+
+from __future__ import annotations
+
+import bz2
+import zlib
+from typing import Protocol
+
+
+class Compressor(Protocol):
+    name: str
+
+    def compress(self, data: bytes) -> bytes: ...
+
+    def decompress(self, data: bytes) -> bytes: ...
+
+
+class GzipCompressor:
+    """zlib/DEFLATE — the default, favouring speed (level 1-6)."""
+
+    name = "gzip"
+
+    def __init__(self, level: int = 1):
+        self.level = level
+
+    def compress(self, data: bytes) -> bytes:
+        return zlib.compress(data, self.level)
+
+    def decompress(self, data: bytes) -> bytes:
+        return zlib.decompress(data)
+
+
+class Bzip2Compressor:
+    """bzip2 — better ratio, markedly slower."""
+
+    name = "bzip2"
+
+    def __init__(self, level: int = 9):
+        self.level = level
+
+    def compress(self, data: bytes) -> bytes:
+        return bz2.compress(data, self.level)
+
+    def decompress(self, data: bytes) -> bytes:
+        return bz2.decompress(data)
+
+
+class NullCompressor:
+    """Identity codec, for ablations isolating compression effects."""
+
+    name = "null"
+
+    def compress(self, data: bytes) -> bytes:
+        return data
+
+    def decompress(self, data: bytes) -> bytes:
+        return data
+
+
+COMPRESSORS = {
+    "gzip": GzipCompressor,
+    "bzip2": Bzip2Compressor,
+    "null": NullCompressor,
+}
+
+
+def make_compressor(name: str) -> Compressor:
+    try:
+        return COMPRESSORS[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown compressor {name!r}; available: {sorted(COMPRESSORS)}"
+        ) from None

@@ -1,0 +1,39 @@
+"""Chunk fingerprinting (§4.1).
+
+"Each chunk is identified by a fingerprint, which by default is the 20
+bytes of its SHA1 hash."  The fingerprinter is pluggable so deployments
+can move to SHA-256 without touching the chunking or dedup layers.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Callable
+
+#: Fingerprint function type: bytes -> hex digest string.
+Fingerprinter = Callable[[bytes], str]
+
+
+def sha1_fingerprint(data: bytes) -> str:
+    """The paper's default: 20-byte SHA-1, as lowercase hex."""
+    return hashlib.sha1(data).hexdigest()
+
+
+def sha256_fingerprint(data: bytes) -> str:
+    """Stronger alternative fingerprint."""
+    return hashlib.sha256(data).hexdigest()
+
+
+FINGERPRINTERS = {
+    "sha1": sha1_fingerprint,
+    "sha256": sha256_fingerprint,
+}
+
+
+def make_fingerprinter(name: str) -> Fingerprinter:
+    try:
+        return FINGERPRINTERS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown fingerprinter {name!r}; available: {sorted(FINGERPRINTERS)}"
+        ) from None

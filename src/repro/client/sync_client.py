@@ -1,0 +1,401 @@
+"""The StackSync desktop client (§4.1): the full Watcher→Indexer→commit loop.
+
+A :class:`StackSyncClient` owns:
+
+* a local :class:`~repro.client.fs.Filesystem` (the synced folder),
+* a :class:`~repro.client.watcher.PollingWatcher` detecting changes,
+* an :class:`~repro.client.indexer.Indexer` (chunker + compressor + per-user
+  dedup against the local database),
+* a direct connection to the Storage back-end for chunk upload/download
+  (data flow), and
+* an ObjectMQ proxy to the SyncService plus a bound receiver on the
+  workspace fanout for push notifications (control flow).
+
+Control and data flows are fully decoupled, mirroring Fig 4.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import threading
+import time
+import uuid
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.client.chunker import FixedChunker
+from repro.client.compression import Compressor, GzipCompressor
+from repro.client.fs import Filesystem, VirtualFilesystem
+from repro.client.indexer import Indexer, IndexResult, make_item_id
+from repro.client.local_db import LocalDatabase, LocalFileRecord
+from repro.client.watcher import (
+    EVENT_ADD,
+    EVENT_REMOVE,
+    EVENT_UPDATE,
+    FileEvent,
+    PollingWatcher,
+)
+from repro.errors import ObjectNotFound, SyncError
+from repro.objectmq.broker import Broker
+from repro.storage.object_store import SwiftLikeStore
+from repro.sync.interface import (
+    SYNC_SERVICE_OID,
+    SyncServiceApi,
+    workspace_oid,
+)
+from repro.sync.models import (
+    STATUS_DELETED,
+    CommitNotification,
+    CommitResult,
+    ItemMetadata,
+    Workspace,
+)
+
+logger = logging.getLogger(__name__)
+
+
+class _WorkspaceReceiver:
+    """The remote object bound to the workspace fanout (RemoteWorkspaceApi)."""
+
+    def __init__(self, client: "StackSyncClient"):
+        self._client = client
+
+    def notify_commit(self, notification: CommitNotification) -> None:
+        self._client._on_notification(notification)
+
+
+class ClientTrafficStats:
+    """Per-client control/storage traffic accounting (thread-safe)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.storage_up = 0
+        self.storage_down = 0
+        self.commits_sent = 0
+        self.notifications_received = 0
+        self.conflicts = 0
+
+    def add_up(self, nbytes: int) -> None:
+        with self._lock:
+            self.storage_up += nbytes
+
+    def add_down(self, nbytes: int) -> None:
+        with self._lock:
+            self.storage_down += nbytes
+
+
+class StackSyncClient:
+    """One device syncing one workspace."""
+
+    def __init__(
+        self,
+        user_id: str,
+        workspace: Workspace,
+        mom,
+        storage: SwiftLikeStore,
+        device_id: Optional[str] = None,
+        fs: Optional[Filesystem] = None,
+        chunker=None,
+        compressor: Optional[Compressor] = None,
+        codec: str = "pickle",
+        sync_oid: str = SYNC_SERVICE_OID,
+        batch_size: int = 1,
+        local_db: Optional[LocalDatabase] = None,
+    ):
+        self.user_id = user_id
+        self.workspace = workspace
+        self.device_id = device_id or f"dev-{uuid.uuid4().hex[:8]}"
+        self.fs = fs if fs is not None else VirtualFilesystem()
+        self.storage = storage
+        self.container = f"u-{workspace.owner}"
+        # Any object with the LocalDatabase surface works, notably the
+        # durable SqliteLocalDatabase (repro.client.persistent_db).
+        self.local_db = local_db if local_db is not None else LocalDatabase()
+        self.indexer = Indexer(
+            self.local_db,
+            chunker=chunker or FixedChunker(),
+            compressor=compressor or GzipCompressor(),
+        )
+        self.watcher = PollingWatcher(self.fs, on_event=self._on_watch_event)
+        self.broker = Broker(mom, environment={"codec": codec, "client_id": self.device_id})
+        self.sync_service = self.broker.lookup(sync_oid, SyncServiceApi)
+        self.stats = ClientTrafficStats()
+
+        self._lock = threading.RLock()
+        self._applied = threading.Condition(self._lock)
+        self._applied_versions: Dict[Tuple[str, int], float] = {}
+        self._receiver_skeleton = None
+        self.on_conflict: Optional[Callable[[str, str], None]] = None
+        self.started = False
+        # File bundling (Table 2): group this many proposals per
+        # commitRequest; 1 reproduces the paper's one-at-a-time setup.
+        if batch_size < 1:
+            raise ValueError("batch_size must be >= 1")
+        self.batch_size = batch_size
+        self._pending_proposals: List[ItemMetadata] = []
+
+        if not self.storage.container_exists(self.container):
+            self.storage.create_container(self.container)
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def start(self) -> List[ItemMetadata]:
+        """Startup protocol: getWorkspaces, getChanges, subscribe to pushes.
+
+        Returns the workspace state that was applied locally.
+        """
+        self.sync_service.register_device(self.user_id, self.device_id)
+        workspaces = self.sync_service.get_workspaces(self.user_id)
+        if not any(w.workspace_id == self.workspace.workspace_id for w in workspaces):
+            raise SyncError(
+                f"user {self.user_id!r} has no access to workspace "
+                f"{self.workspace.workspace_id!r}"
+            )
+        state = self.sync_service.get_changes(self.workspace.workspace_id)
+        for metadata in state:
+            self._apply_remote_change(metadata)
+        # Register interest in committed updates only after the initial
+        # state is applied, as in the paper's startup sequence.
+        self._receiver_skeleton = self.broker.bind(
+            workspace_oid(self.workspace.workspace_id), _WorkspaceReceiver(self)
+        )
+        self.watcher.prime()
+        self.started = True
+        return state
+
+    def stop(self) -> None:
+        self.flush()
+        self.watcher.stop()
+        if self._receiver_skeleton is not None:
+            self.broker.unbind(self._receiver_skeleton)
+            self._receiver_skeleton = None
+        self.broker.close()
+        self.started = False
+
+    # -- user-facing operations ----------------------------------------------------
+
+    def put_file(self, path: str, content: bytes) -> ItemMetadata:
+        """Write *path* locally and propagate it (ADD or UPDATE)."""
+        self.fs.write(path, content)
+        self.watcher.ignore(path)
+        return self._index_and_commit(path, content)
+
+    def delete_file(self, path: str) -> ItemMetadata:
+        """Delete *path* locally and propagate the removal."""
+        self.fs.delete(path)
+        self.watcher.ignore(path)
+        result = self.indexer.index_delete(
+            self.workspace.workspace_id, self.device_id, path
+        )
+        self._send_commit(result)
+        return result.proposal
+
+    def scan(self) -> List[FileEvent]:
+        """Run one watcher scan, indexing and committing what it finds."""
+        return self.watcher.scan_once()
+
+    # -- sync-time instrumentation ------------------------------------------------------
+
+    def wait_for_version(
+        self, item_id: str, version: int, timeout: float = 30.0
+    ) -> Optional[float]:
+        """Block until (item, version) is applied locally; returns apply time."""
+        deadline = time.monotonic() + timeout
+        key = (item_id, version)
+        with self._applied:
+            while key not in self._applied_versions:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return None
+                self._applied.wait(remaining)
+            return self._applied_versions[key]
+
+    def applied_at(self, item_id: str, version: int) -> Optional[float]:
+        with self._lock:
+            return self._applied_versions.get((item_id, version))
+
+    # -- internals: outbound -------------------------------------------------------------
+
+    def _on_watch_event(self, event: FileEvent) -> None:
+        if event.kind in (EVENT_ADD, EVENT_UPDATE):
+            try:
+                content = self.fs.read(event.path)
+            except FileNotFoundError:
+                return
+            self._index_and_commit(event.path, content)
+        elif event.kind == EVENT_REMOVE:
+            result = self.indexer.index_delete(
+                self.workspace.workspace_id, self.device_id, event.path
+            )
+            self._send_commit(result)
+
+    def _index_and_commit(self, path: str, content: bytes) -> ItemMetadata:
+        result = self.indexer.index_change(
+            self.workspace.workspace_id, self.device_id, path, content
+        )
+        self._upload_chunks(result)
+        self._send_commit(result)
+        return result.proposal
+
+    def _upload_chunks(self, result: IndexResult) -> None:
+        """Upload the unique chunks *before* proposing the commit (§4.1)."""
+        for fingerprint, payload in result.uploads:
+            self.storage.put_object(self.container, fingerprint, payload)
+            self.local_db.cache_chunk(fingerprint, payload)
+            self.stats.add_up(len(payload))
+
+    def _send_commit(self, result: IndexResult) -> None:
+        proposal = result.proposal
+        record = self.local_db.get_by_path(proposal.filename)
+        if record is None:
+            record = LocalFileRecord(
+                item_id=proposal.item_id,
+                path=proposal.filename,
+                version=0,
+            )
+        record.pending_version = proposal.version
+        record.chunks = list(proposal.chunks)
+        record.checksum = proposal.checksum
+        record.size = proposal.size
+        self.local_db.upsert(record)
+        with self._lock:
+            self._pending_proposals.append(proposal)
+            ready = len(self._pending_proposals) >= self.batch_size
+        if ready:
+            self.flush()
+
+    def flush(self) -> None:
+        """Send all pending proposals as one bundled commitRequest."""
+        with self._lock:
+            proposals, self._pending_proposals = self._pending_proposals, []
+        if not proposals:
+            return
+        self.stats.commits_sent += 1
+        self.sync_service.commit_request(
+            self.workspace.workspace_id,
+            self.device_id,
+            proposals,
+            request_id=uuid.uuid4().hex,
+        )
+
+    # -- internals: inbound ---------------------------------------------------------------
+
+    def _on_notification(self, notification: CommitNotification) -> None:
+        self.stats.notifications_received += 1
+        for result in notification.results:
+            try:
+                self._handle_result(result)
+            except Exception:  # noqa: BLE001 - one bad item must not stop the rest
+                logger.exception(
+                    "%s failed applying %s", self.device_id, result.metadata.item_id
+                )
+
+    def _handle_result(self, result: CommitResult) -> None:
+        metadata = result.metadata
+        ours = metadata.device_id == self.device_id
+        if result.confirmed:
+            if ours:
+                self._confirm_own_commit(metadata)
+            else:
+                self._apply_remote_change(metadata)
+            self._mark_applied(metadata.item_id, metadata.version)
+        else:
+            if ours:
+                self.stats.conflicts += 1
+                self._resolve_conflict(result)
+
+    def _confirm_own_commit(self, metadata: ItemMetadata) -> None:
+        with self._lock:
+            record = self.local_db.get(metadata.item_id)
+            if record is None:
+                return
+            record.version = metadata.version
+            if record.pending_version == metadata.version:
+                record.pending_version = None
+            if metadata.status == STATUS_DELETED:
+                self.local_db.remove(metadata.item_id)
+            else:
+                self.local_db.upsert(record)
+
+    def _apply_remote_change(self, metadata: ItemMetadata) -> None:
+        """Materialize a change committed elsewhere onto the local fs."""
+        if metadata.status == STATUS_DELETED:
+            with self._lock:
+                self.fs.delete(metadata.filename)
+                self.watcher.ignore(metadata.filename)
+                self.local_db.remove(metadata.item_id)
+            return
+        content = self._fetch_content(metadata)
+        with self._lock:
+            self.fs.write(metadata.filename, content)
+            self.watcher.ignore(metadata.filename)
+            self.local_db.upsert(
+                LocalFileRecord(
+                    item_id=metadata.item_id,
+                    path=metadata.filename,
+                    version=metadata.version,
+                    chunks=list(metadata.chunks),
+                    checksum=metadata.checksum,
+                    size=metadata.size,
+                )
+            )
+
+    def _fetch_content(self, metadata: ItemMetadata) -> bytes:
+        """Download missing chunks, verify integrity, reassemble the file.
+
+        Every downloaded chunk is re-fingerprinted after decompression;
+        a mismatch (bit rot, a corrupted replica, a tampered store) raises
+        :class:`~repro.errors.SyncError` instead of silently writing bad
+        data into the user's workspace.
+        """
+        fingerprinter = self.indexer.chunker.fingerprinter
+        pieces: List[bytes] = []
+        for fingerprint in metadata.chunks:
+            payload = self.local_db.cached_chunk(fingerprint)
+            cached = payload is not None
+            if payload is None:
+                payload = self.storage.get_object(self.container, fingerprint)
+                self.stats.add_down(len(payload))
+            plain = self.indexer.compressor.decompress(payload)
+            if fingerprinter(plain) != fingerprint:
+                raise SyncError(
+                    f"integrity check failed for chunk {fingerprint} of "
+                    f"{metadata.filename!r}"
+                )
+            if not cached:
+                self.local_db.cache_chunk(fingerprint, payload)
+            pieces.append(plain)
+        return b"".join(pieces)
+
+    def _resolve_conflict(self, result: CommitResult) -> None:
+        """Dropbox-style resolution (§4.2.1): keep a conflicted copy.
+
+        The losing local content is renamed to a conflicted copy (and
+        proposed as a brand-new item), then the winning server version is
+        materialized under the original name.
+        """
+        metadata = result.metadata
+        path = metadata.filename
+        conflicted_path = conflicted_copy_name(path, self.device_id)
+        try:
+            local_content = self.fs.read(path)
+        except FileNotFoundError:
+            local_content = None
+
+        if result.current is not None:
+            self._apply_remote_change(result.current)
+        if self.on_conflict is not None:
+            self.on_conflict(path, conflicted_path)
+        if local_content is not None and metadata.status != STATUS_DELETED:
+            self.put_file(conflicted_path, local_content)
+
+    def _mark_applied(self, item_id: str, version: int) -> None:
+        with self._applied:
+            self._applied_versions[(item_id, version)] = time.time()
+            self._applied.notify_all()
+
+
+def conflicted_copy_name(path: str, device_id: str) -> str:
+    """'report.txt' -> 'report (conflicted copy dev-x).txt'."""
+    stem, ext = os.path.splitext(path)
+    return f"{stem} (conflicted copy {device_id}){ext}"

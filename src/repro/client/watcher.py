@@ -1,0 +1,154 @@
+"""The Watcher (§4.1): detects workspace changes on the local filesystem.
+
+A polling watcher that snapshots (size, mtime) per path and diffs
+successive scans into ADD / UPDATE / REMOVE events.  ``scan_once`` makes
+detection deterministic for tests and benches; ``start`` runs the same
+scan on a background thread for the interactive examples.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.client.fs import Filesystem
+
+#: Patterns real sync clients never upload: editor droppings, OS noise.
+DEFAULT_EXCLUDES = (
+    "*.tmp",
+    "*.swp",
+    "*~",
+    ".DS_Store",
+    "Thumbs.db",
+    ".stacksync/*",
+)
+
+EVENT_ADD = "ADD"
+EVENT_UPDATE = "UPDATE"
+EVENT_REMOVE = "REMOVE"
+
+
+@dataclass(frozen=True)
+class FileEvent:
+    """One detected workspace change."""
+
+    kind: str
+    path: str
+    detected_at: float
+
+
+class PollingWatcher:
+    """Diff-based change detection over any :class:`Filesystem`."""
+
+    def __init__(
+        self,
+        fs: Filesystem,
+        on_event: Optional[Callable[[FileEvent], None]] = None,
+        interval: float = 0.5,
+        excludes: Iterable[str] = DEFAULT_EXCLUDES,
+    ):
+        self.fs = fs
+        self.on_event = on_event
+        self.interval = interval
+        self.excludes: Tuple[str, ...] = tuple(excludes)
+        self._snapshot: Dict[str, Tuple[int, float]] = {}
+        # path -> (size, mtime) expected at next scan, or None for "absent".
+        self._ignored: Dict[str, Optional[Tuple[int, float]]] = {}
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    def ignore(self, path: str) -> None:
+        """Suppress the echo of a self-inflicted change to *path*.
+
+        Call *after* mutating the filesystem: the watcher snapshots the
+        path's current state and suppresses the next event **only if the
+        file still looks exactly like this snapshot** at scan time.  A
+        user edit racing in before the next scan changes the stat, so it
+        is correctly reported instead of being swallowed.
+        """
+        with self._lock:
+            try:
+                expected: Optional[Tuple[int, float]] = self.fs.stat(path)
+            except FileNotFoundError:
+                expected = None
+            self._ignored[path] = expected
+
+    def prime(self) -> None:
+        """Take the initial snapshot without emitting events."""
+        with self._lock:
+            self._snapshot = self._take_snapshot()
+
+    def scan_once(self) -> List[FileEvent]:
+        """Diff the filesystem against the last snapshot; emit events."""
+        now = time.time()
+        events: List[FileEvent] = []
+        with self._lock:
+            current = self._take_snapshot()
+            previous = self._snapshot
+            self._snapshot = current
+            for path, stat in current.items():
+                if path not in previous:
+                    events.append(FileEvent(EVENT_ADD, path, now))
+                elif previous[path] != stat:
+                    events.append(FileEvent(EVENT_UPDATE, path, now))
+            for path in previous:
+                if path not in current:
+                    events.append(FileEvent(EVENT_REMOVE, path, now))
+            kept = []
+            for event in events:
+                if event.path in self._ignored:
+                    expected = self._ignored.pop(event.path)
+                    if current.get(event.path) == expected:
+                        continue  # the echo of our own write/delete
+                kept.append(event)
+        if self.on_event is not None:
+            for event in kept:
+                self.on_event(event)
+        return kept
+
+    def is_excluded(self, path: str) -> bool:
+        """True when *path* matches an exclusion pattern (never synced)."""
+        name = path.rsplit("/", 1)[-1]
+        return any(
+            fnmatch.fnmatch(path, pattern) or fnmatch.fnmatch(name, pattern)
+            for pattern in self.excludes
+        )
+
+    def _take_snapshot(self) -> Dict[str, Tuple[int, float]]:
+        snapshot = {}
+        for path in self.fs.list_paths():
+            if self.is_excluded(path):
+                continue
+            try:
+                snapshot[path] = self.fs.stat(path)
+            except FileNotFoundError:
+                continue
+        return snapshot
+
+    # -- background operation -----------------------------------------------------
+
+    def start(self) -> None:
+        if self._thread is not None:
+            return
+        self.prime()
+        self._stop.clear()
+
+        def run() -> None:
+            while not self._stop.wait(self.interval):
+                try:
+                    self.scan_once()
+                except Exception:  # pragma: no cover - defensive
+                    pass
+
+        self._thread = threading.Thread(target=run, name="watcher", daemon=True)
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=2.0)
+            self._thread = None

@@ -1,0 +1,25 @@
+"""Elastic provisioning for the SyncService (§4.3).
+
+Implements the Urgaonkar-style dynamic provisioning model the paper
+adopts: a G/G/1 capacity model (equations 1-2), a predictive policy
+working on day-scale history, and a reactive policy correcting it on
+minute scales.
+"""
+
+from repro.elasticity.ggone import (
+    GG1CapacityModel,
+    PAPER_PARAMETERS,
+    SlaParameters,
+)
+from repro.elasticity.predictive import PredictiveProvisioner, percentile
+from repro.elasticity.reactive import CombinedProvisioner, ReactiveProvisioner
+
+__all__ = [
+    "PAPER_PARAMETERS",
+    "CombinedProvisioner",
+    "GG1CapacityModel",
+    "PredictiveProvisioner",
+    "ReactiveProvisioner",
+    "SlaParameters",
+    "percentile",
+]

@@ -1,0 +1,11 @@
+"""Metadata back-ends (the PostgreSQL role of the paper's architecture)."""
+
+from repro.metadata.base import MetadataBackend
+from repro.metadata.memory_backend import MemoryMetadataBackend
+from repro.metadata.sqlite_backend import SqliteMetadataBackend
+
+__all__ = [
+    "MemoryMetadataBackend",
+    "MetadataBackend",
+    "SqliteMetadataBackend",
+]

@@ -1,0 +1,96 @@
+"""Metadata back-end interface (the PostgreSQL role in the paper).
+
+The SyncService interacts with the back-end through this Data Access
+Object; the paper stresses that the implementation is "modular and may be
+replaced easily".  Two implementations ship: an in-memory engine
+(:mod:`repro.metadata.memory_backend`) and a SQLite engine with real ACID
+transactions (:mod:`repro.metadata.sqlite_backend`).
+
+Consistency contract used by Algorithm 1:
+
+* :meth:`store_new_object` atomically inserts version 1 of an item and
+  raises :class:`~repro.errors.TransactionAborted` if any version already
+  exists;
+* :meth:`store_new_version` atomically verifies that the proposal's
+  version is exactly ``current + 1`` and inserts it, raising
+  :class:`TransactionAborted` otherwise.
+
+Because the checks re-run inside the transaction, two SyncService
+instances racing on the same item serialize correctly: the first commit
+wins, the second aborts and is reported as a conflict — the paper's
+first-writer-wins policy, with no rollback ever needed.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Dict, List, Optional
+
+from repro.sync.models import ItemMetadata, Workspace
+
+
+class MetadataBackend(ABC):
+    """Abstract DAO over users, workspaces and versioned item metadata."""
+
+    # -- accounts & workspaces ---------------------------------------------------
+
+    @abstractmethod
+    def create_user(self, user_id: str, name: str = "") -> None:
+        """Register a user (idempotent)."""
+
+    @abstractmethod
+    def create_workspace(self, workspace: Workspace) -> None:
+        """Register a workspace owned by an existing user (idempotent)."""
+
+    @abstractmethod
+    def grant_access(self, workspace_id: str, user_id: str) -> None:
+        """Give *user_id* access to *workspace_id* (sharing)."""
+
+    @abstractmethod
+    def workspaces_for(self, user_id: str) -> List[Workspace]:
+        """Workspaces the user owns or was granted access to."""
+
+    @abstractmethod
+    def workspace_exists(self, workspace_id: str) -> bool:
+        """True when the workspace is registered."""
+
+    # -- devices ---------------------------------------------------------------------
+
+    @abstractmethod
+    def register_device(self, user_id: str, device_id: str, name: str = "") -> None:
+        """Record a device of *user_id* (idempotent; updates the name)."""
+
+    @abstractmethod
+    def devices_for(self, user_id: str) -> List[str]:
+        """Device ids registered by the user, sorted."""
+
+    # -- item versions -------------------------------------------------------------
+
+    @abstractmethod
+    def get_current(self, item_id: str) -> Optional[ItemMetadata]:
+        """Latest committed version of *item_id*, or None."""
+
+    @abstractmethod
+    def store_new_object(self, metadata: ItemMetadata) -> None:
+        """Atomically insert the first version of a new item."""
+
+    @abstractmethod
+    def store_new_version(self, metadata: ItemMetadata) -> None:
+        """Atomically append the next version of an existing item."""
+
+    @abstractmethod
+    def get_workspace_state(self, workspace_id: str) -> List[ItemMetadata]:
+        """Latest version of every non-deleted item in the workspace."""
+
+    @abstractmethod
+    def item_history(self, item_id: str) -> List[ItemMetadata]:
+        """All committed versions of *item_id*, oldest first."""
+
+    # -- introspection ---------------------------------------------------------------
+
+    @abstractmethod
+    def counts(self) -> Dict[str, int]:
+        """Row counts per logical table, for tests and monitoring."""
+
+    def close(self) -> None:
+        """Release resources; default no-op."""

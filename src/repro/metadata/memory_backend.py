@@ -1,0 +1,140 @@
+"""In-memory metadata back-end.
+
+A lock-serialized engine with the same atomicity contract as the SQLite
+back-end, used by large simulations and most tests where durability is
+irrelevant but speed matters.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Set
+
+from repro.errors import MetadataError, TransactionAborted, UnknownWorkspace
+from repro.metadata.base import MetadataBackend
+from repro.sync.models import STATUS_DELETED, ItemMetadata, Workspace
+
+
+class MemoryMetadataBackend(MetadataBackend):
+    """Dictionary-backed implementation guarded by one re-entrant lock."""
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._users: Dict[str, str] = {}
+        self._workspaces: Dict[str, Workspace] = {}
+        self._acl: Dict[str, Set[str]] = {}  # workspace_id -> user ids
+        self._versions: Dict[str, List[ItemMetadata]] = {}  # item -> versions
+        self._workspace_items: Dict[str, Set[str]] = {}
+        self._devices: Dict[str, Dict[str, str]] = {}  # user -> {device: name}
+
+    # -- accounts & workspaces ---------------------------------------------------
+
+    def create_user(self, user_id: str, name: str = "") -> None:
+        with self._lock:
+            self._users.setdefault(user_id, name or user_id)
+
+    def create_workspace(self, workspace: Workspace) -> None:
+        with self._lock:
+            if workspace.owner not in self._users:
+                raise MetadataError(f"unknown owner {workspace.owner!r}")
+            self._workspaces.setdefault(workspace.workspace_id, workspace)
+            self._acl.setdefault(workspace.workspace_id, set()).add(workspace.owner)
+            self._workspace_items.setdefault(workspace.workspace_id, set())
+
+    def grant_access(self, workspace_id: str, user_id: str) -> None:
+        with self._lock:
+            self._require_workspace(workspace_id)
+            if user_id not in self._users:
+                raise MetadataError(f"unknown user {user_id!r}")
+            self._acl[workspace_id].add(user_id)
+
+    def workspaces_for(self, user_id: str) -> List[Workspace]:
+        with self._lock:
+            return sorted(
+                (
+                    self._workspaces[wid]
+                    for wid, users in self._acl.items()
+                    if user_id in users
+                ),
+                key=lambda w: w.workspace_id,
+            )
+
+    def workspace_exists(self, workspace_id: str) -> bool:
+        with self._lock:
+            return workspace_id in self._workspaces
+
+    # -- devices ---------------------------------------------------------------------
+
+    def register_device(self, user_id: str, device_id: str, name: str = "") -> None:
+        with self._lock:
+            if user_id not in self._users:
+                raise MetadataError(f"unknown user {user_id!r}")
+            self._devices.setdefault(user_id, {})[device_id] = name or device_id
+
+    def devices_for(self, user_id: str) -> List[str]:
+        with self._lock:
+            return sorted(self._devices.get(user_id, {}))
+
+    # -- item versions -------------------------------------------------------------
+
+    def get_current(self, item_id: str) -> Optional[ItemMetadata]:
+        with self._lock:
+            versions = self._versions.get(item_id)
+            return versions[-1] if versions else None
+
+    def store_new_object(self, metadata: ItemMetadata) -> None:
+        with self._lock:
+            self._require_workspace(metadata.workspace_id)
+            if metadata.item_id in self._versions:
+                raise TransactionAborted(
+                    f"item {metadata.item_id!r} already exists"
+                )
+            if metadata.version != 1:
+                raise TransactionAborted(
+                    f"first version of {metadata.item_id!r} must be 1, "
+                    f"got {metadata.version}"
+                )
+            self._versions[metadata.item_id] = [metadata]
+            self._workspace_items[metadata.workspace_id].add(metadata.item_id)
+
+    def store_new_version(self, metadata: ItemMetadata) -> None:
+        with self._lock:
+            versions = self._versions.get(metadata.item_id)
+            if not versions:
+                raise TransactionAborted(f"item {metadata.item_id!r} does not exist")
+            current = versions[-1]
+            if metadata.version != current.version + 1:
+                raise TransactionAborted(
+                    f"version {metadata.version} does not succeed "
+                    f"{current.version} for {metadata.item_id!r}"
+                )
+            versions.append(metadata)
+
+    def get_workspace_state(self, workspace_id: str) -> List[ItemMetadata]:
+        with self._lock:
+            self._require_workspace(workspace_id)
+            state = []
+            for item_id in self._workspace_items.get(workspace_id, ()):
+                current = self._versions[item_id][-1]
+                if current.status != STATUS_DELETED:
+                    state.append(current)
+            return sorted(state, key=lambda m: m.item_id)
+
+    def item_history(self, item_id: str) -> List[ItemMetadata]:
+        with self._lock:
+            return list(self._versions.get(item_id, ()))
+
+    # -- introspection ---------------------------------------------------------------
+
+    def counts(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "users": len(self._users),
+                "workspaces": len(self._workspaces),
+                "items": len(self._versions),
+                "versions": sum(len(v) for v in self._versions.values()),
+            }
+
+    def _require_workspace(self, workspace_id: str) -> None:
+        if workspace_id not in self._workspaces:
+            raise UnknownWorkspace(f"workspace {workspace_id!r} is not registered")

@@ -1,0 +1,302 @@
+"""SQLite metadata back-end — the ACID stand-in for PostgreSQL.
+
+The paper chose a relational store "to benefit from the ACID semantics,
+and this way simplify the maintenance of consistency" (§4).  This engine
+gives the same guarantee: each ``store_new_object`` / ``store_new_version``
+runs as an IMMEDIATE transaction whose version check re-executes inside
+the transaction, so racing SyncService instances serialize and the loser
+aborts cleanly (first-writer-wins, no rollback of committed data).
+
+A single connection guarded by a lock keeps the engine usable from the
+many consumer threads of the MOM layer; WAL mode keeps readers cheap.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import threading
+from typing import Dict, List, Optional
+
+from repro.errors import MetadataError, TransactionAborted, UnknownWorkspace
+from repro.metadata.base import MetadataBackend
+from repro.sync.models import STATUS_DELETED, ItemMetadata, Workspace
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS users (
+    user_id TEXT PRIMARY KEY,
+    name TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS workspaces (
+    workspace_id TEXT PRIMARY KEY,
+    owner TEXT NOT NULL REFERENCES users(user_id),
+    name TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS devices (
+    user_id TEXT NOT NULL REFERENCES users(user_id),
+    device_id TEXT NOT NULL,
+    name TEXT NOT NULL,
+    PRIMARY KEY (user_id, device_id)
+);
+CREATE TABLE IF NOT EXISTS workspace_users (
+    workspace_id TEXT NOT NULL REFERENCES workspaces(workspace_id),
+    user_id TEXT NOT NULL REFERENCES users(user_id),
+    PRIMARY KEY (workspace_id, user_id)
+);
+CREATE TABLE IF NOT EXISTS item_versions (
+    item_id TEXT NOT NULL,
+    version INTEGER NOT NULL,
+    workspace_id TEXT NOT NULL REFERENCES workspaces(workspace_id),
+    filename TEXT NOT NULL,
+    status TEXT NOT NULL,
+    is_folder INTEGER NOT NULL,
+    size INTEGER NOT NULL,
+    checksum TEXT NOT NULL,
+    chunks TEXT NOT NULL,
+    modified_at REAL NOT NULL,
+    device_id TEXT NOT NULL,
+    PRIMARY KEY (item_id, version)
+);
+CREATE INDEX IF NOT EXISTS idx_item_ws ON item_versions(workspace_id, item_id);
+"""
+
+
+class SqliteMetadataBackend(MetadataBackend):
+    """Relational metadata store over :mod:`sqlite3`."""
+
+    def __init__(self, path: str = ":memory:"):
+        self.path = path
+        self._lock = threading.RLock()
+        self._conn = sqlite3.connect(path, check_same_thread=False)
+        self._conn.isolation_level = None  # manual transaction control
+        with self._lock:
+            if path != ":memory:":
+                self._conn.execute("PRAGMA journal_mode=WAL")
+            self._conn.executescript(_SCHEMA)
+
+    # -- accounts & workspaces ---------------------------------------------------
+
+    def create_user(self, user_id: str, name: str = "") -> None:
+        with self._lock:
+            self._conn.execute(
+                "INSERT OR IGNORE INTO users(user_id, name) VALUES (?, ?)",
+                (user_id, name or user_id),
+            )
+
+    def create_workspace(self, workspace: Workspace) -> None:
+        with self._lock:
+            owner = self._conn.execute(
+                "SELECT 1 FROM users WHERE user_id = ?", (workspace.owner,)
+            ).fetchone()
+            if owner is None:
+                raise MetadataError(f"unknown owner {workspace.owner!r}")
+            self._conn.execute(
+                "INSERT OR IGNORE INTO workspaces(workspace_id, owner, name) "
+                "VALUES (?, ?, ?)",
+                (workspace.workspace_id, workspace.owner, workspace.name),
+            )
+            self._conn.execute(
+                "INSERT OR IGNORE INTO workspace_users(workspace_id, user_id) "
+                "VALUES (?, ?)",
+                (workspace.workspace_id, workspace.owner),
+            )
+
+    def grant_access(self, workspace_id: str, user_id: str) -> None:
+        with self._lock:
+            self._require_workspace(workspace_id)
+            user = self._conn.execute(
+                "SELECT 1 FROM users WHERE user_id = ?", (user_id,)
+            ).fetchone()
+            if user is None:
+                raise MetadataError(f"unknown user {user_id!r}")
+            self._conn.execute(
+                "INSERT OR IGNORE INTO workspace_users(workspace_id, user_id) "
+                "VALUES (?, ?)",
+                (workspace_id, user_id),
+            )
+
+    def workspaces_for(self, user_id: str) -> List[Workspace]:
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT w.workspace_id, w.owner, w.name FROM workspaces w "
+                "JOIN workspace_users wu ON wu.workspace_id = w.workspace_id "
+                "WHERE wu.user_id = ? ORDER BY w.workspace_id",
+                (user_id,),
+            ).fetchall()
+        return [Workspace(workspace_id=r[0], owner=r[1], name=r[2]) for r in rows]
+
+    def workspace_exists(self, workspace_id: str) -> bool:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT 1 FROM workspaces WHERE workspace_id = ?", (workspace_id,)
+            ).fetchone()
+        return row is not None
+
+    # -- devices ---------------------------------------------------------------------
+
+    def register_device(self, user_id: str, device_id: str, name: str = "") -> None:
+        with self._lock:
+            user = self._conn.execute(
+                "SELECT 1 FROM users WHERE user_id = ?", (user_id,)
+            ).fetchone()
+            if user is None:
+                raise MetadataError(f"unknown user {user_id!r}")
+            self._conn.execute(
+                "INSERT INTO devices(user_id, device_id, name) VALUES (?, ?, ?)"
+                " ON CONFLICT(user_id, device_id) DO UPDATE SET name=excluded.name",
+                (user_id, device_id, name or device_id),
+            )
+
+    def devices_for(self, user_id: str) -> List[str]:
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT device_id FROM devices WHERE user_id = ? ORDER BY device_id",
+                (user_id,),
+            ).fetchall()
+        return [r[0] for r in rows]
+
+    # -- item versions -------------------------------------------------------------
+
+    def get_current(self, item_id: str) -> Optional[ItemMetadata]:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT * FROM item_versions WHERE item_id = ? "
+                "ORDER BY version DESC LIMIT 1",
+                (item_id,),
+            ).fetchone()
+        return self._row_to_item(row) if row else None
+
+    def store_new_object(self, metadata: ItemMetadata) -> None:
+        with self._lock:
+            self._require_workspace(metadata.workspace_id)
+            try:
+                self._conn.execute("BEGIN IMMEDIATE")
+                existing = self._conn.execute(
+                    "SELECT MAX(version) FROM item_versions WHERE item_id = ?",
+                    (metadata.item_id,),
+                ).fetchone()[0]
+                if existing is not None:
+                    raise TransactionAborted(
+                        f"item {metadata.item_id!r} already exists"
+                    )
+                if metadata.version != 1:
+                    raise TransactionAborted(
+                        f"first version of {metadata.item_id!r} must be 1, "
+                        f"got {metadata.version}"
+                    )
+                self._insert(metadata)
+                self._conn.execute("COMMIT")
+            except BaseException:
+                self._conn.execute("ROLLBACK")
+                raise
+
+    def store_new_version(self, metadata: ItemMetadata) -> None:
+        with self._lock:
+            try:
+                self._conn.execute("BEGIN IMMEDIATE")
+                current = self._conn.execute(
+                    "SELECT MAX(version) FROM item_versions WHERE item_id = ?",
+                    (metadata.item_id,),
+                ).fetchone()[0]
+                if current is None:
+                    raise TransactionAborted(
+                        f"item {metadata.item_id!r} does not exist"
+                    )
+                if metadata.version != current + 1:
+                    raise TransactionAborted(
+                        f"version {metadata.version} does not succeed {current} "
+                        f"for {metadata.item_id!r}"
+                    )
+                self._insert(metadata)
+                self._conn.execute("COMMIT")
+            except BaseException:
+                self._conn.execute("ROLLBACK")
+                raise
+
+    def get_workspace_state(self, workspace_id: str) -> List[ItemMetadata]:
+        with self._lock:
+            self._require_workspace(workspace_id)
+            rows = self._conn.execute(
+                "SELECT iv.* FROM item_versions iv JOIN ("
+                "  SELECT item_id, MAX(version) AS v FROM item_versions "
+                "  WHERE workspace_id = ? GROUP BY item_id"
+                ") latest ON iv.item_id = latest.item_id AND iv.version = latest.v "
+                "WHERE iv.status != ? ORDER BY iv.item_id",
+                (workspace_id, STATUS_DELETED),
+            ).fetchall()
+        return [self._row_to_item(r) for r in rows]
+
+    def item_history(self, item_id: str) -> List[ItemMetadata]:
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT * FROM item_versions WHERE item_id = ? ORDER BY version",
+                (item_id,),
+            ).fetchall()
+        return [self._row_to_item(r) for r in rows]
+
+    # -- introspection ---------------------------------------------------------------
+
+    def counts(self) -> Dict[str, int]:
+        with self._lock:
+            users = self._conn.execute("SELECT COUNT(*) FROM users").fetchone()[0]
+            workspaces = self._conn.execute(
+                "SELECT COUNT(*) FROM workspaces"
+            ).fetchone()[0]
+            items = self._conn.execute(
+                "SELECT COUNT(DISTINCT item_id) FROM item_versions"
+            ).fetchone()[0]
+            versions = self._conn.execute(
+                "SELECT COUNT(*) FROM item_versions"
+            ).fetchone()[0]
+        return {
+            "users": users,
+            "workspaces": workspaces,
+            "items": items,
+            "versions": versions,
+        }
+
+    def close(self) -> None:
+        with self._lock:
+            self._conn.close()
+
+    # -- helpers --------------------------------------------------------------------
+
+    def _insert(self, m: ItemMetadata) -> None:
+        self._conn.execute(
+            "INSERT INTO item_versions(item_id, version, workspace_id, filename,"
+            " status, is_folder, size, checksum, chunks, modified_at, device_id)"
+            " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?, ?, ?)",
+            (
+                m.item_id,
+                m.version,
+                m.workspace_id,
+                m.filename,
+                m.status,
+                int(m.is_folder),
+                m.size,
+                m.checksum,
+                json.dumps(m.chunks),
+                m.modified_at,
+                m.device_id,
+            ),
+        )
+
+    @staticmethod
+    def _row_to_item(row) -> ItemMetadata:
+        return ItemMetadata(
+            item_id=row[0],
+            version=row[1],
+            workspace_id=row[2],
+            filename=row[3],
+            status=row[4],
+            is_folder=bool(row[5]),
+            size=row[6],
+            checksum=row[7],
+            chunks=json.loads(row[8]),
+            modified_at=row[9],
+            device_id=row[10],
+        )
+
+    def _require_workspace(self, workspace_id: str) -> None:
+        if not self.workspace_exists(workspace_id):
+            raise UnknownWorkspace(f"workspace {workspace_id!r} is not registered")

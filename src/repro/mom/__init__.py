@@ -1,0 +1,41 @@
+"""AMQP-semantics message-oriented middleware (the RabbitMQ stand-in).
+
+Public surface::
+
+    from repro.mom import MessageBroker, Message, PERSISTENT
+
+    broker = MessageBroker()
+    broker.declare_queue("work")
+    broker.publish("", "work", Message(b"payload"))
+    msg = broker.get("work", timeout=1.0)
+"""
+
+from repro.mom.broker_server import DEFAULT_EXCHANGE, BrokerStats, MessageBroker
+from repro.mom.cluster import BrokerCluster
+from repro.mom.exchange import DirectExchange, Exchange, FanoutExchange, TopicExchange
+from repro.mom.message import PERSISTENT, TRANSIENT, Delivery, Message
+from repro.mom.persistence import FileMessageStore, InMemoryMessageStore
+from repro.mom.queue import Consumer, MessageQueue
+from repro.mom.sqs import SqsBrokerAdapter, SqsQueue, SqsService
+
+__all__ = [
+    "DEFAULT_EXCHANGE",
+    "PERSISTENT",
+    "TRANSIENT",
+    "BrokerCluster",
+    "BrokerStats",
+    "Consumer",
+    "Delivery",
+    "DirectExchange",
+    "Exchange",
+    "FanoutExchange",
+    "FileMessageStore",
+    "InMemoryMessageStore",
+    "Message",
+    "MessageBroker",
+    "MessageQueue",
+    "SqsBrokerAdapter",
+    "SqsQueue",
+    "SqsService",
+    "TopicExchange",
+]

@@ -1,0 +1,295 @@
+"""The message broker: the in-process stand-in for RabbitMQ.
+
+:class:`MessageBroker` owns named queues and exchanges and exposes the
+narrow AMQP-shaped surface ObjectMQ needs:
+
+* ``declare_queue`` / ``delete_queue`` / ``declare_exchange``
+* ``bind_queue(exchange, queue, key)``
+* ``publish(exchange, routing_key, message)``
+* ``consume`` / ``cancel`` (push) and ``get`` (pull)
+* ``ack`` / ``nack``
+
+It also implements the reliability behaviours the paper leans on:
+unacked messages are redelivered when a consumer is cancelled
+(:meth:`MessageQueue.cancel_consumer`), persistent messages on durable
+queues survive :meth:`restart`, and a per-call latency model lets the
+benchmarks charge realistic network costs to every broker hop.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import BrokerClosed, DeliveryError, ExchangeNotFound, QueueNotFound
+from repro.mom.exchange import EXCHANGE_TYPES, DirectExchange, Exchange
+from repro.mom.message import Delivery, Message
+from repro.mom.persistence import InMemoryMessageStore
+from repro.mom.queue import Consumer, MessageQueue
+
+#: Name of the implicit default exchange (direct; routing key == queue name).
+DEFAULT_EXCHANGE = ""
+
+
+class BrokerStats:
+    """Aggregate counters exposed for provisioners and tests."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.publishes = 0
+        self.deliveries = 0
+        self.acks = 0
+        self.bytes_published = 0
+
+    def on_publish(self, message: Message, queue_count: int) -> None:
+        with self._lock:
+            self.publishes += 1
+            self.deliveries += queue_count
+            self.bytes_published += message.size * max(1, queue_count)
+
+    def on_ack(self) -> None:
+        with self._lock:
+            self.acks += 1
+
+    def snapshot(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "publishes": self.publishes,
+                "deliveries": self.deliveries,
+                "acks": self.acks,
+                "bytes_published": self.bytes_published,
+            }
+
+
+class MessageBroker:
+    """An AMQP-semantics message broker running inside the process.
+
+    Args:
+        store: Durable message store; defaults to a fresh in-memory store.
+        publish_latency: Callable returning the seconds to sleep on every
+            publish — used by live benchmarks to model broker RTT.  Defaults
+            to no latency.
+    """
+
+    def __init__(
+        self,
+        store: Optional[InMemoryMessageStore] = None,
+        publish_latency: Optional[Callable[[], float]] = None,
+        name: str = "broker",
+    ):
+        self.name = name
+        self.store = store if store is not None else InMemoryMessageStore()
+        self._publish_latency = publish_latency
+        self._lock = threading.Lock()
+        self._queues: Dict[str, MessageQueue] = {}
+        self._exchanges: Dict[str, Exchange] = {DEFAULT_EXCHANGE: DirectExchange("")}
+        self._closed = False
+        self.stats = BrokerStats()
+
+    # -- topology -------------------------------------------------------------
+
+    def declare_queue(
+        self, name: str, durable: bool = False, exclusive: bool = False
+    ) -> MessageQueue:
+        """Declare (idempotently) and return the queue called *name*."""
+        self._check_open()
+        with self._lock:
+            queue = self._queues.get(name)
+            if queue is None:
+                queue = MessageQueue(name, durable=durable, exclusive=exclusive)
+                self._queues[name] = queue
+                if durable:
+                    for message in self.store.pending_for(name):
+                        queue.put(message)
+            return queue
+
+    def delete_queue(self, name: str) -> None:
+        with self._lock:
+            queue = self._queues.pop(name, None)
+            for exchange in self._exchanges.values():
+                exchange.unbind_queue_everywhere(name)
+        if queue is not None:
+            queue.close()
+
+    def declare_exchange(self, name: str, type_name: str = "direct") -> Exchange:
+        self._check_open()
+        if type_name not in EXCHANGE_TYPES:
+            raise ExchangeNotFound(f"unknown exchange type {type_name!r}")
+        with self._lock:
+            exchange = self._exchanges.get(name)
+            if exchange is None:
+                exchange = EXCHANGE_TYPES[type_name](name)
+                self._exchanges[name] = exchange
+            return exchange
+
+    def delete_exchange(self, name: str) -> None:
+        if name == DEFAULT_EXCHANGE:
+            return
+        with self._lock:
+            self._exchanges.pop(name, None)
+
+    def bind_queue(self, exchange_name: str, queue_name: str, binding_key: str = "") -> None:
+        exchange = self._get_exchange(exchange_name)
+        self._get_queue(queue_name)  # existence check
+        exchange.bind(queue_name, binding_key)
+
+    def unbind_queue(self, exchange_name: str, queue_name: str, binding_key: str = "") -> None:
+        exchange = self._get_exchange(exchange_name)
+        exchange.unbind(queue_name, binding_key)
+
+    def queue_exists(self, name: str) -> bool:
+        with self._lock:
+            return name in self._queues
+
+    def queue_names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._queues)
+
+    # -- publish / consume ------------------------------------------------------
+
+    def publish(
+        self, exchange_name: str, routing_key: str, message: Message
+    ) -> int:
+        """Route *message* and return the number of queues it reached.
+
+        The default exchange routes to the queue named exactly like the
+        routing key, declaring it lazily — this matches the paper's model
+        where ``bind(oid, obj)`` creates the ``oid`` queue and clients
+        simply publish to it by name.
+        """
+        self._check_open()
+        if self._publish_latency is not None:
+            delay = self._publish_latency()
+            if delay > 0:
+                time.sleep(delay)
+
+        if exchange_name == DEFAULT_EXCHANGE:
+            queue = self.declare_queue(routing_key)
+            destinations = [queue.name]
+        else:
+            exchange = self._get_exchange(exchange_name)
+            destinations = exchange.route(routing_key)
+
+        routed = 0
+        for queue_name in destinations:
+            with self._lock:
+                queue = self._queues.get(queue_name)
+            if queue is None:
+                continue
+            copy = message.copy_for_queue() if routed else message
+            if queue.durable:
+                self.store.record_publish(queue_name, copy)
+            queue.put(copy)
+            routed += 1
+        self.stats.on_publish(message, routed)
+        if routed == 0 and exchange_name != DEFAULT_EXCHANGE:
+            raise DeliveryError(
+                f"message with key {routing_key!r} matched no queue on "
+                f"exchange {exchange_name!r}"
+            )
+        return routed
+
+    def consume(
+        self,
+        queue_name: str,
+        callback: Callable[[Delivery], None],
+        consumer_tag: str,
+        prefetch: int = 1,
+        auto_ack: bool = False,
+    ) -> Consumer:
+        self._check_open()
+        queue = self._get_queue(queue_name)
+        return queue.add_consumer(consumer_tag, callback, prefetch=prefetch, auto_ack=auto_ack)
+
+    def cancel(self, queue_name: str, consumer_tag: str) -> None:
+        with self._lock:
+            queue = self._queues.get(queue_name)
+        if queue is not None:
+            queue.cancel_consumer(consumer_tag)
+
+    def get(self, queue_name: str, timeout: Optional[float] = None) -> Optional[Message]:
+        queue = self._get_queue(queue_name)
+        return queue.get(timeout=timeout)
+
+    def ack(self, delivery: Delivery) -> None:
+        with self._lock:
+            queue = self._queues.get(delivery.queue_name)
+        if queue is None:
+            return
+        if queue.ack(delivery.delivery_tag):
+            self.stats.on_ack()
+            if queue.durable:
+                self.store.record_ack(delivery.queue_name, delivery.message)
+
+    def nack(self, delivery: Delivery, requeue: bool = True) -> None:
+        with self._lock:
+            queue = self._queues.get(delivery.queue_name)
+        if queue is not None:
+            queue.nack(delivery.delivery_tag, requeue=requeue)
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    def restart(self) -> None:
+        """Simulate a broker crash + recovery.
+
+        All queues and consumers are destroyed; durable queues are then
+        re-declared and refilled with the persistent messages that were
+        never acked (§3.4).  Consumers must re-subscribe, exactly as real
+        AMQP clients must re-open channels after a broker restart.
+        """
+        with self._lock:
+            queues = list(self._queues.values())
+            durable_names = [q.name for q in queues if q.durable]
+            self._queues.clear()
+            self._exchanges = {DEFAULT_EXCHANGE: DirectExchange("")}
+        for queue in queues:
+            queue.close()
+        for name in durable_names:
+            self.declare_queue(name, durable=True)
+
+    def close(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            queues = list(self._queues.values())
+            self._queues.clear()
+        for queue in queues:
+            queue.close()
+
+    # -- helpers --------------------------------------------------------------------
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise BrokerClosed(f"broker {self.name!r} is closed")
+
+    def _get_queue(self, name: str) -> MessageQueue:
+        with self._lock:
+            queue = self._queues.get(name)
+        if queue is None:
+            raise QueueNotFound(f"queue {name!r} has not been declared")
+        return queue
+
+    def _get_exchange(self, name: str) -> Exchange:
+        with self._lock:
+            exchange = self._exchanges.get(name)
+        if exchange is None:
+            raise ExchangeNotFound(f"exchange {name!r} has not been declared")
+        return exchange
+
+    def queue_depth(self, name: str) -> int:
+        """Number of ready (undelivered) messages in *name*."""
+        return len(self._get_queue(name))
+
+    def queue_stats(self, name: str) -> Dict[str, int]:
+        queue = self._get_queue(name)
+        return {
+            "ready": len(queue),
+            "unacked": queue.unacked_count,
+            "consumers": queue.consumer_count,
+            "published": queue.published_count,
+            "delivered": queue.delivered_count,
+            "acked": queue.acked_count,
+            "redelivered": queue.redelivered_count,
+        }

@@ -1,0 +1,167 @@
+"""High-availability broker clustering.
+
+The paper closes §3.4 with: "high availability can be achieved by using
+clusters of messaging brokers".  :class:`BrokerCluster` reproduces the
+standard mirrored-queue deployment: a primary broker serves all traffic
+while its durable state (the persistent-message journal) is shared with the
+standby nodes.  When the primary fails, the next standby is promoted and
+re-hydrates every durable queue from the shared journal, so no persistent
+message that was published-but-unacked is lost across the failover.
+
+Consumers must re-subscribe after failover (as with real AMQP clients); the
+cluster exposes ``generation`` so ObjectMQ brokers can detect that and
+re-bind their remote objects.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, List, Optional
+
+from repro.errors import BrokerClosed
+from repro.mom.broker_server import MessageBroker
+from repro.mom.message import Delivery, Message
+from repro.mom.persistence import InMemoryMessageStore
+
+
+class BrokerCluster:
+    """A primary/standby group of :class:`MessageBroker` nodes.
+
+    Args:
+        size: Total number of nodes (1 primary + size-1 standbys).
+        publish_latency: Optional latency model passed to every node.
+    """
+
+    def __init__(
+        self,
+        size: int = 2,
+        publish_latency: Optional[Callable[[], float]] = None,
+    ):
+        if size < 1:
+            raise ValueError("cluster size must be >= 1")
+        self._store = InMemoryMessageStore()
+        self._publish_latency = publish_latency
+        self._lock = threading.Lock()
+        self._nodes: List[MessageBroker] = [
+            MessageBroker(
+                store=self._store,
+                publish_latency=publish_latency,
+                name=f"node-{i}",
+            )
+            for i in range(size)
+        ]
+        self._active_index = 0
+        self.generation = 0
+        self._failover_listeners: List[Callable[[int], None]] = []
+        # Durable queue *definitions* survive failover even when empty
+        # (mirrored-queue semantics): track them cluster-side.
+        self._durable_queues: set = set()
+
+    # -- membership -------------------------------------------------------------
+
+    @property
+    def active(self) -> MessageBroker:
+        """The broker node currently serving traffic."""
+        with self._lock:
+            return self._nodes[self._active_index]
+
+    @property
+    def size(self) -> int:
+        with self._lock:
+            return len(self._nodes)
+
+    def on_failover(self, listener: Callable[[int], None]) -> None:
+        """Register a callback invoked with the new generation after failover."""
+        self._failover_listeners.append(listener)
+
+    def fail_primary(self) -> MessageBroker:
+        """Kill the active node and promote the next standby.
+
+        Returns the newly active broker.  Raises :class:`BrokerClosed` when
+        no standby remains.
+        """
+        with self._lock:
+            dead = self._nodes.pop(self._active_index)
+            if not self._nodes:
+                self._nodes.append(dead)  # keep invariants for repr/debug
+                raise BrokerClosed("no standby broker left to promote")
+            self._active_index = 0
+            promoted = self._nodes[0]
+            self.generation += 1
+            generation = self.generation
+        dead.close()
+        # Re-hydrate durable queues on the promoted node: queue definitions
+        # from the cluster-side registry, contents from the shared journal.
+        for queue_name in sorted(self._durable_queues | set(self._store.queue_names())):
+            if not promoted.queue_exists(queue_name):
+                promoted.declare_queue(queue_name, durable=True)
+        for listener in list(self._failover_listeners):
+            listener(generation)
+        return promoted
+
+    def add_standby(self) -> MessageBroker:
+        """Grow the cluster with a fresh standby sharing the journal."""
+        with self._lock:
+            node = MessageBroker(
+                store=self._store,
+                publish_latency=self._publish_latency,
+                name=f"node-{self.generation}-{len(self._nodes)}",
+            )
+            self._nodes.append(node)
+            return node
+
+    # -- broker facade ------------------------------------------------------------
+    # The cluster quacks like a MessageBroker so ObjectMQ can be pointed at
+    # either interchangeably.
+
+    def declare_queue(self, name: str, durable: bool = False, exclusive: bool = False):
+        if durable:
+            self._durable_queues.add(name)
+        return self.active.declare_queue(name, durable=durable, exclusive=exclusive)
+
+    def delete_queue(self, name: str) -> None:
+        self.active.delete_queue(name)
+
+    def declare_exchange(self, name: str, type_name: str = "direct"):
+        return self.active.declare_exchange(name, type_name)
+
+    def bind_queue(self, exchange_name: str, queue_name: str, binding_key: str = "") -> None:
+        self.active.bind_queue(exchange_name, queue_name, binding_key)
+
+    def unbind_queue(self, exchange_name: str, queue_name: str, binding_key: str = "") -> None:
+        self.active.unbind_queue(exchange_name, queue_name, binding_key)
+
+    def publish(self, exchange_name: str, routing_key: str, message: Message) -> int:
+        return self.active.publish(exchange_name, routing_key, message)
+
+    def consume(self, queue_name, callback, consumer_tag, prefetch: int = 1, auto_ack: bool = False):
+        return self.active.consume(
+            queue_name, callback, consumer_tag, prefetch=prefetch, auto_ack=auto_ack
+        )
+
+    def cancel(self, queue_name: str, consumer_tag: str) -> None:
+        self.active.cancel(queue_name, consumer_tag)
+
+    def get(self, queue_name: str, timeout: Optional[float] = None) -> Optional[Message]:
+        return self.active.get(queue_name, timeout=timeout)
+
+    def ack(self, delivery: Delivery) -> None:
+        self.active.ack(delivery)
+
+    def nack(self, delivery: Delivery, requeue: bool = True) -> None:
+        self.active.nack(delivery, requeue=requeue)
+
+    def queue_exists(self, name: str) -> bool:
+        return self.active.queue_exists(name)
+
+    def queue_depth(self, name: str) -> int:
+        return self.active.queue_depth(name)
+
+    def queue_stats(self, name: str):
+        return self.active.queue_stats(name)
+
+    def close(self) -> None:
+        with self._lock:
+            nodes = list(self._nodes)
+        for node in nodes:
+            node.close()

@@ -1,0 +1,137 @@
+"""AMQP-style exchanges: direct, fanout, and topic routing.
+
+The paper's ObjectMQ uses two routing behaviours (§3):
+
+* unicast RPCs go through the *default direct exchange* — routing key equals
+  the target queue name (the remote object's ``oid`` queue);
+* multicast RPCs go through a *fanout exchange* named after the ``oid``,
+  which copies the message to every bound private queue.
+
+A topic exchange is included because it falls out of the same structure and
+is convenient for tests and extensions (e.g. routing notifications by
+workspace hierarchy), though the core protocol does not need it.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from typing import Dict, List, Set
+
+
+class Exchange:
+    """Base exchange: a named router from routing keys to queue names."""
+
+    type_name = "base"
+
+    def __init__(self, name: str):
+        self.name = name
+        self._lock = threading.Lock()
+        # binding key -> set of queue names
+        self._bindings: Dict[str, Set[str]] = {}
+
+    def bind(self, queue_name: str, binding_key: str = "") -> None:
+        with self._lock:
+            self._bindings.setdefault(binding_key, set()).add(queue_name)
+
+    def unbind(self, queue_name: str, binding_key: str = "") -> None:
+        with self._lock:
+            queues = self._bindings.get(binding_key)
+            if queues is not None:
+                queues.discard(queue_name)
+                if not queues:
+                    del self._bindings[binding_key]
+
+    def unbind_queue_everywhere(self, queue_name: str) -> None:
+        """Drop *queue_name* from every binding (queue deletion path)."""
+        with self._lock:
+            empty_keys = []
+            for key, queues in self._bindings.items():
+                queues.discard(queue_name)
+                if not queues:
+                    empty_keys.append(key)
+            for key in empty_keys:
+                del self._bindings[key]
+
+    def route(self, routing_key: str) -> List[str]:
+        """Return destination queue names for *routing_key*."""
+        raise NotImplementedError
+
+    def bound_queues(self) -> Set[str]:
+        with self._lock:
+            result: Set[str] = set()
+            for queues in self._bindings.values():
+                result |= queues
+            return result
+
+    def binding_count(self) -> int:
+        with self._lock:
+            return sum(len(queues) for queues in self._bindings.values())
+
+
+class DirectExchange(Exchange):
+    """Route to queues whose binding key exactly matches the routing key."""
+
+    type_name = "direct"
+
+    def route(self, routing_key: str) -> List[str]:
+        with self._lock:
+            return sorted(self._bindings.get(routing_key, ()))
+
+
+class FanoutExchange(Exchange):
+    """Route every message to every bound queue, ignoring the routing key.
+
+    This is the primitive behind ObjectMQ's @MultiMethod: each remote object
+    instance binds its private queue to the fanout exchange named after the
+    shared ``oid``, so one publish reaches all instances (Fig 1 / Fig 5).
+    """
+
+    type_name = "fanout"
+
+    def route(self, routing_key: str) -> List[str]:
+        with self._lock:
+            result: Set[str] = set()
+            for queues in self._bindings.values():
+                result |= queues
+            return sorted(result)
+
+
+class TopicExchange(Exchange):
+    """Route on dotted patterns with AMQP wildcards.
+
+    ``*`` matches exactly one word; ``#`` matches zero or more words.
+    """
+
+    type_name = "topic"
+
+    @staticmethod
+    def _pattern_to_regex(pattern: str) -> "re.Pattern[str]":
+        parts = []
+        for token in pattern.split("."):
+            if token == "*":
+                parts.append(r"[^.]+")
+            elif token == "#":
+                parts.append(r".*")
+            else:
+                parts.append(re.escape(token))
+        # '#' may legitimately match an empty segment sequence; collapsing
+        # the resulting empty-separator cases keeps the regex simple.
+        regex = r"\.".join(parts)
+        regex = regex.replace(r"\..*", r"(?:\..*)?").replace(r".*\.", r"(?:.*\.)?")
+        return re.compile(f"^{regex}$")
+
+    def route(self, routing_key: str) -> List[str]:
+        with self._lock:
+            result: Set[str] = set()
+            for pattern, queues in self._bindings.items():
+                if self._pattern_to_regex(pattern).match(routing_key):
+                    result |= queues
+            return sorted(result)
+
+
+EXCHANGE_TYPES = {
+    "direct": DirectExchange,
+    "fanout": FanoutExchange,
+    "topic": TopicExchange,
+}

@@ -1,0 +1,88 @@
+"""Message envelope used by the AMQP-like broker.
+
+A :class:`Message` carries an opaque byte payload plus a small set of
+AMQP-style properties (routing key, reply-to queue, correlation id,
+headers, delivery mode).  The broker never inspects the payload; codecs
+live one layer up, in :mod:`repro.serialization`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+#: Delivery mode constants mirroring AMQP basic.properties.delivery-mode.
+TRANSIENT = 1
+PERSISTENT = 2
+
+_message_ids = itertools.count(1)
+_message_ids_lock = threading.Lock()
+
+
+def _next_message_id() -> int:
+    with _message_ids_lock:
+        return next(_message_ids)
+
+
+@dataclass
+class Message:
+    """An immutable-by-convention broker message.
+
+    Attributes:
+        body: Opaque payload bytes.
+        routing_key: Key used by exchanges to select destination queues.
+        reply_to: Name of the queue where a reply should be published.
+        correlation_id: Opaque id used to pair requests with replies.
+        headers: Free-form application headers.
+        delivery_mode: TRANSIENT (lost on broker restart) or PERSISTENT.
+        message_id: Unique id assigned at construction time.
+        redelivered: True when the broker re-queued this message after a
+            consumer died without acking it.
+    """
+
+    body: bytes
+    routing_key: str = ""
+    reply_to: Optional[str] = None
+    correlation_id: Optional[str] = None
+    headers: Dict[str, Any] = field(default_factory=dict)
+    delivery_mode: int = TRANSIENT
+    message_id: int = field(default_factory=_next_message_id)
+    redelivered: bool = False
+
+    def copy_for_queue(self) -> "Message":
+        """Return an independent copy, used when fanning out to many queues.
+
+        Each destination queue must track its own delivery state (acks,
+        redelivery flag), so fanout publishes one copy per queue.
+        """
+        return Message(
+            body=self.body,
+            routing_key=self.routing_key,
+            reply_to=self.reply_to,
+            correlation_id=self.correlation_id,
+            headers=dict(self.headers),
+            delivery_mode=self.delivery_mode,
+        )
+
+    @property
+    def size(self) -> int:
+        """Payload size in bytes (used by traffic meters)."""
+        return len(self.body)
+
+
+@dataclass(frozen=True)
+class Delivery:
+    """A message handed to a specific consumer, awaiting ack/nack.
+
+    The broker tracks deliveries per consumer so that, if the consumer is
+    cancelled or crashes, unacked messages are re-queued — this is the
+    at-least-once guarantee ObjectMQ's fault tolerance (paper §3.4) relies
+    on.
+    """
+
+    delivery_tag: int
+    queue_name: str
+    consumer_tag: str
+    message: Message

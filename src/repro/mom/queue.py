@@ -1,0 +1,293 @@
+"""Work queues with AMQP semantics: acks, prefetch and round-robin dispatch.
+
+A :class:`MessageQueue` holds ready messages and a set of registered
+consumers.  Dispatch follows the AMQP work-queue model the paper relies on
+(§3): a message is handed to *one* consumer, chosen round-robin among the
+consumers whose number of unacknowledged deliveries is below their prefetch
+window.  With ``prefetch=1`` this is exactly the "deliver to the first idle
+remote object" behaviour the paper describes, and it is what makes adding a
+SyncService instance immediately absorb load.
+
+Reliability: a delivery stays in the consumer's unacked set until it is
+acked.  If the consumer is cancelled or its owner crashes, every unacked
+message is put back at the head of the queue with ``redelivered=True`` —
+the at-least-once guarantee of §3.4.
+"""
+
+from __future__ import annotations
+
+import itertools
+import logging
+import queue as stdlib_queue
+import threading
+from collections import deque
+from typing import Callable, Dict, List, Optional
+
+from repro.errors import DuplicateConsumer
+from repro.mom.message import Delivery, Message
+
+logger = logging.getLogger(__name__)
+
+_delivery_tags = itertools.count(1)
+_delivery_tags_lock = threading.Lock()
+
+#: Sentinel pushed into a consumer mailbox to terminate its worker thread.
+_STOP = object()
+
+
+def _next_delivery_tag() -> int:
+    with _delivery_tags_lock:
+        return next(_delivery_tags)
+
+
+class Consumer:
+    """A registered consumer: a callback plus its delivery worker thread.
+
+    Deliveries are executed on a dedicated thread so that one slow consumer
+    never blocks the queue's dispatch path or its sibling consumers.  The
+    callback receives a :class:`Delivery`; acking is the responsibility of
+    the subscriber (normally the ObjectMQ skeleton) via
+    :meth:`MessageQueue.ack`.
+    """
+
+    def __init__(
+        self,
+        tag: str,
+        callback: Callable[[Delivery], None],
+        prefetch: int = 1,
+        auto_ack: bool = False,
+    ):
+        self.tag = tag
+        self.callback = callback
+        self.prefetch = max(1, prefetch)
+        self.auto_ack = auto_ack
+        self.unacked: Dict[int, Delivery] = {}
+        self._mailbox: "stdlib_queue.SimpleQueue" = stdlib_queue.SimpleQueue()
+        self._thread = threading.Thread(
+            target=self._run, name=f"consumer-{tag}", daemon=True
+        )
+        self._thread.start()
+
+    def deliver(self, delivery: Delivery) -> None:
+        self._mailbox.put(delivery)
+
+    def stop(self) -> None:
+        self._mailbox.put(_STOP)
+
+    def join(self, timeout: Optional[float] = None) -> None:
+        self._thread.join(timeout)
+
+    def _run(self) -> None:
+        while True:
+            item = self._mailbox.get()
+            if item is _STOP:
+                return
+            try:
+                self.callback(item)
+            except Exception:  # noqa: BLE001 - consumer bugs must not kill dispatch
+                logger.exception("consumer %s raised while handling delivery", self.tag)
+
+
+class MessageQueue:
+    """A named queue with ready buffer, consumers, and ack bookkeeping."""
+
+    def __init__(self, name: str, durable: bool = False, exclusive: bool = False):
+        self.name = name
+        self.durable = durable
+        self.exclusive = exclusive
+        self._ready: deque = deque()
+        self._consumers: List[Consumer] = []
+        self._rr_index = 0
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        # Counters for introspection (HasObjectInfo, paper §3.3).
+        self.published_count = 0
+        self.delivered_count = 0
+        self.acked_count = 0
+        self.redelivered_count = 0
+
+    # -- publishing ---------------------------------------------------------
+
+    def put(self, message: Message, at_head: bool = False) -> None:
+        """Enqueue *message* and trigger dispatch."""
+        with self._lock:
+            if at_head:
+                self._ready.appendleft(message)
+            else:
+                self._ready.append(message)
+            self.published_count += 1
+            self._dispatch_locked()
+            self._not_empty.notify_all()
+
+    # -- pull-mode (basic.get) ---------------------------------------------
+
+    def get(self, timeout: Optional[float] = None) -> Optional[Message]:
+        """Synchronously pop one message, waiting up to *timeout* seconds.
+
+        Pull mode auto-acks: the message is not tracked for redelivery.
+        Used by ObjectMQ proxies to wait for replies on their private
+        response queues.
+        """
+        with self._not_empty:
+            if not self._ready:
+                self._not_empty.wait(timeout)
+            if not self._ready:
+                return None
+            self.delivered_count += 1
+            self.acked_count += 1
+            return self._ready.popleft()
+
+    # -- push-mode (basic.consume) -------------------------------------------
+
+    def add_consumer(
+        self,
+        tag: str,
+        callback: Callable[[Delivery], None],
+        prefetch: int = 1,
+        auto_ack: bool = False,
+    ) -> Consumer:
+        with self._lock:
+            if any(c.tag == tag for c in self._consumers):
+                raise DuplicateConsumer(f"consumer tag {tag!r} already on {self.name!r}")
+            consumer = Consumer(tag, callback, prefetch=prefetch, auto_ack=auto_ack)
+            self._consumers.append(consumer)
+            self._dispatch_locked()
+        return consumer
+
+    def cancel_consumer(self, tag: str) -> None:
+        """Remove a consumer, requeuing all its unacked deliveries.
+
+        This is the crash-recovery path from §3.4: when a SyncService
+        instance dies mid-operation, its in-flight commit requests flow back
+        to the queue and are redelivered to a surviving instance.
+        """
+        with self._lock:
+            consumer = self._pop_consumer_locked(tag)
+            if consumer is None:
+                return
+            consumer.stop()
+            for delivery in sorted(
+                consumer.unacked.values(), key=lambda d: d.delivery_tag, reverse=True
+            ):
+                requeued = delivery.message.copy_for_queue()
+                requeued.redelivered = True
+                self._ready.appendleft(requeued)
+                self.redelivered_count += 1
+            consumer.unacked.clear()
+            self._dispatch_locked()
+            self._not_empty.notify_all()
+
+    def _pop_consumer_locked(self, tag: str) -> Optional[Consumer]:
+        for i, consumer in enumerate(self._consumers):
+            if consumer.tag == tag:
+                return self._consumers.pop(i)
+        return None
+
+    # -- acks ----------------------------------------------------------------
+
+    def ack(self, delivery_tag: int) -> bool:
+        """Acknowledge a delivery; returns False if the tag is unknown."""
+        with self._lock:
+            for consumer in self._consumers:
+                if delivery_tag in consumer.unacked:
+                    del consumer.unacked[delivery_tag]
+                    self.acked_count += 1
+                    self._dispatch_locked()
+                    return True
+        return False
+
+    def nack(self, delivery_tag: int, requeue: bool = True) -> bool:
+        """Negatively acknowledge; optionally requeue at the head."""
+        with self._lock:
+            for consumer in self._consumers:
+                delivery = consumer.unacked.pop(delivery_tag, None)
+                if delivery is not None:
+                    if requeue:
+                        requeued = delivery.message.copy_for_queue()
+                        requeued.redelivered = True
+                        self._ready.appendleft(requeued)
+                        self.redelivered_count += 1
+                    self._dispatch_locked()
+                    return True
+        return False
+
+    # -- dispatch -------------------------------------------------------------
+
+    def _dispatch_locked(self) -> None:
+        """Hand ready messages to eligible consumers, round-robin.
+
+        Must be called with ``self._lock`` held.  A consumer is eligible
+        when its unacked window is below its prefetch limit; with the
+        default prefetch of 1 this selects only idle consumers, which is the
+        transparent load balancing the paper credits the MOM layer with.
+        """
+        if not self._consumers:
+            return
+        while self._ready:
+            consumer = self._next_eligible_locked()
+            if consumer is None:
+                return
+            message = self._ready.popleft()
+            delivery = Delivery(
+                delivery_tag=_next_delivery_tag(),
+                queue_name=self.name,
+                consumer_tag=consumer.tag,
+                message=message,
+            )
+            if not consumer.auto_ack:
+                consumer.unacked[delivery.delivery_tag] = delivery
+            else:
+                self.acked_count += 1
+            self.delivered_count += 1
+            consumer.deliver(delivery)
+
+    def _next_eligible_locked(self) -> Optional[Consumer]:
+        n = len(self._consumers)
+        for offset in range(n):
+            candidate = self._consumers[(self._rr_index + offset) % n]
+            if len(candidate.unacked) < candidate.prefetch:
+                self._rr_index = (self._rr_index + offset + 1) % n
+                return candidate
+        return None
+
+    # -- introspection ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._ready)
+
+    @property
+    def consumer_count(self) -> int:
+        with self._lock:
+            return len(self._consumers)
+
+    @property
+    def unacked_count(self) -> int:
+        with self._lock:
+            return sum(len(c.unacked) for c in self._consumers)
+
+    def consumer_tags(self) -> List[str]:
+        with self._lock:
+            return [c.tag for c in self._consumers]
+
+    def purge(self) -> int:
+        with self._lock:
+            n = len(self._ready)
+            self._ready.clear()
+            return n
+
+    def drain_messages(self) -> List[Message]:
+        """Remove and return all ready messages (used by persistence/HA)."""
+        with self._lock:
+            messages = list(self._ready)
+            self._ready.clear()
+            return messages
+
+    def close(self) -> None:
+        with self._lock:
+            consumers = list(self._consumers)
+            self._consumers.clear()
+        for consumer in consumers:
+            consumer.stop()
+        for consumer in consumers:
+            consumer.join(timeout=1.0)

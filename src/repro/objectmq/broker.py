@@ -1,0 +1,246 @@
+"""The ObjectMQ Broker: ``bind`` / ``lookup`` over a MOM system (§3.1).
+
+This is the ``omq.Broker`` of the paper.  It connects to a message broker
+(:class:`repro.mom.MessageBroker` or a :class:`repro.mom.BrokerCluster`)
+and exposes two primitives:
+
+* :meth:`Broker.bind(oid, remote_object)` — bind an object instance under
+  the identifier *oid*.  Creates (idempotently) the shared unicast queue
+  named ``oid``, a fanout exchange ``oid.multi`` for multicast, and a
+  private per-instance queue bound to that exchange.  Binding several
+  objects under one *oid* yields transparent load balancing: the MOM
+  delivers each unicast RPC to the first idle instance.
+
+* :meth:`Broker.lookup(oid, interface)` — return a dynamic client stub
+  (:class:`~repro.objectmq.proxy.Proxy`) for a @remote_interface class.
+  No registry lookup happens; knowing the queue name is enough.
+
+There is no stub compilation step and no client-side server list: scaling
+the server pool up or down never touches clients.
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+import uuid
+from typing import Any, Dict, Optional, Type
+
+from repro.errors import BindingError, ObjectMqError
+from repro.mom.message import Delivery
+from repro.objectmq.annotations import interface_specs
+from repro.objectmq.naming import multi_exchange_name, response_queue_name
+from repro.objectmq.proxy import Proxy
+from repro.objectmq.skeleton import Skeleton
+from repro.serialization import Serializer, make_serializer
+
+logger = logging.getLogger(__name__)
+
+
+class _ReplyRouter:
+    """Demultiplexes replies arriving on this broker's response queue.
+
+    Every Broker (client side) owns exactly one response queue — "every
+    stub has its own queue to receive responses" in the paper maps to one
+    queue per connected Broker, shared by all its proxies and keyed by
+    correlation id.
+    """
+
+    def __init__(self, codec: Serializer):
+        self._codec = codec
+        self._lock = threading.Lock()
+        self._waiters: Dict[str, "_Waiter"] = {}
+
+    def register(self, correlation_id: str) -> "_Waiter":
+        waiter = _Waiter()
+        with self._lock:
+            self._waiters[correlation_id] = waiter
+        return waiter
+
+    def unregister(self, correlation_id: str) -> None:
+        with self._lock:
+            self._waiters.pop(correlation_id, None)
+
+    def on_delivery(self, delivery: Delivery) -> None:
+        try:
+            envelope = self._codec.decode(delivery.message.body)
+        except ObjectMqError:
+            logger.warning("dropping undecodable reply on %s", delivery.queue_name)
+            return
+        correlation_id = envelope.get("correlation_id")
+        with self._lock:
+            waiter = self._waiters.get(correlation_id)
+        if waiter is None:
+            # A reply for a call that already timed out / completed: stale
+            # retries make this normal, not an error.
+            logger.debug("dropping stale reply %s", correlation_id)
+            return
+        waiter.put(envelope)
+
+
+class _Waiter:
+    """A blocking mailbox collecting reply envelopes for one call.
+
+    Setting :attr:`on_put` switches the waiter into callback mode (used
+    by the future-based invocation path): replies are handed to the
+    callback instead of being buffered.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._ready = threading.Condition(self._lock)
+        self._replies: list = []
+        self.on_put = None
+
+    def put(self, envelope: dict) -> None:
+        with self._ready:
+            callback = self.on_put
+            if callback is None:
+                self._replies.append(envelope)
+                self._ready.notify_all()
+        if callback is not None:
+            callback(envelope)
+
+    def take(self, timeout: float) -> Optional[dict]:
+        """Wait up to *timeout* seconds for the next reply."""
+        with self._ready:
+            if not self._replies:
+                self._ready.wait(timeout)
+            if self._replies:
+                return self._replies.pop(0)
+            return None
+
+    def drain(self) -> list:
+        with self._lock:
+            replies, self._replies = self._replies, []
+            return replies
+
+
+class Broker:
+    """ObjectMQ entry point: one connection to the MOM system.
+
+    Args:
+        mom: The message broker (or cluster) to communicate through.
+        environment: Optional configuration; recognised keys are
+            ``codec`` (``"pickle"`` | ``"json"`` | ``"binary"``, default
+            pickle) and ``client_id`` (stable id for the response queue).
+    """
+
+    def __init__(self, mom, environment: Optional[Dict[str, Any]] = None):
+        environment = dict(environment or {})
+        self.mom = mom
+        self.client_id: str = environment.get("client_id") or uuid.uuid4().hex[:12]
+        self.codec: Serializer = make_serializer(environment.get("codec", "pickle"))
+        self._lock = threading.Lock()
+        self._skeletons: Dict[str, Skeleton] = {}
+        self._closed = False
+        # Call context: headers attached to every outgoing request from
+        # this Broker's proxies (auth tokens, tracing ids, ...).  Server
+        # skeletons hand it to their interceptors.
+        self.call_context: Dict[str, Any] = {}
+
+        self.response_queue_name = response_queue_name(self.client_id)
+        self.mom.declare_queue(self.response_queue_name, exclusive=True)
+        self._reply_router = _ReplyRouter(self.codec)
+        self._reply_consumer_tag = f"replies.{self.client_id}"
+        self.mom.consume(
+            self.response_queue_name,
+            self._reply_router.on_delivery,
+            consumer_tag=self._reply_consumer_tag,
+            prefetch=64,
+            auto_ack=True,
+        )
+
+    # -- server side ------------------------------------------------------------
+
+    def bind(
+        self, oid: str, remote_object: Any, prefetch: int = 1, interceptors=None
+    ) -> Skeleton:
+        """Bind *remote_object* under *oid* and start serving RPCs.
+
+        Returns the :class:`Skeleton` handle, whose ``instance_id``
+        identifies this particular instance (for shutdown and
+        introspection) and whose ``object_info`` exposes live statistics.
+
+        *interceptors* is an optional list of callables
+        ``(method, args, kwargs, context) -> None`` executed before every
+        invocation; raising aborts the call and reports the error to the
+        caller (sync) or drops it (async).  This is the hook the security
+        services plug into (:mod:`repro.sync.auth`).
+        """
+        if remote_object is None:
+            raise BindingError("cannot bind None")
+        self._check_open()
+        skeleton = Skeleton(
+            broker=self,
+            oid=oid,
+            target=remote_object,
+            prefetch=prefetch,
+            interceptors=interceptors,
+        )
+        with self._lock:
+            self._skeletons[skeleton.instance_id] = skeleton
+        skeleton.start()
+        return skeleton
+
+    def unbind(self, skeleton: Skeleton) -> None:
+        """Gracefully remove one bound instance."""
+        with self._lock:
+            self._skeletons.pop(skeleton.instance_id, None)
+        skeleton.stop()
+
+    def bound_instances(self, oid: Optional[str] = None) -> Dict[str, Skeleton]:
+        with self._lock:
+            return {
+                iid: sk
+                for iid, sk in self._skeletons.items()
+                if oid is None or sk.oid == oid
+            }
+
+    # -- client side -------------------------------------------------------------
+
+    def lookup(self, oid: str, interface: Type) -> Any:
+        """Return a dynamic proxy implementing *interface* against *oid*.
+
+        The interface must be decorated with
+        :func:`~repro.objectmq.annotations.remote_interface`; validation
+        happens here so misuse fails at lookup time, not call time.
+        """
+        self._check_open()
+        specs = interface_specs(interface)
+        return Proxy(broker=self, oid=oid, specs=specs, interface_name=interface.__name__)
+
+    # -- plumbing shared with Proxy/Skeleton ------------------------------------------
+
+    def register_waiter(self, correlation_id: str) -> _Waiter:
+        return self._reply_router.register(correlation_id)
+
+    def unregister_waiter(self, correlation_id: str) -> None:
+        self._reply_router.unregister(correlation_id)
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def close(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            skeletons = list(self._skeletons.values())
+            self._skeletons.clear()
+        for skeleton in skeletons:
+            skeleton.stop()
+        try:
+            self.mom.cancel(self.response_queue_name, self._reply_consumer_tag)
+            self.mom.delete_queue(self.response_queue_name)
+        except ObjectMqError:
+            pass
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ObjectMqError(f"Broker {self.client_id} is closed")
+
+    def __enter__(self) -> "Broker":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

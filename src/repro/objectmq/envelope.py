@@ -1,0 +1,68 @@
+"""Wire envelopes for ObjectMQ requests and replies.
+
+Envelopes are plain dicts (so every codec can carry them) with a small
+schema::
+
+    request:  {"method": str, "args": list, "kwargs": dict,
+               "call": "sync" | "async", "multi": bool,
+               "correlation_id": str | None, "reply_to": str | None,
+               "sent_at": float}
+    reply:    {"correlation_id": str, "ok": bool,
+               "result": any | None, "error": str | None,
+               "responder": str}
+"""
+
+from __future__ import annotations
+
+import time
+import uuid
+from typing import Any, Dict, List, Optional
+
+
+def new_correlation_id() -> str:
+    return uuid.uuid4().hex
+
+
+def make_request(
+    method: str,
+    args: List[Any],
+    kwargs: Dict[str, Any],
+    call: str,
+    multi: bool,
+    reply_to: Optional[str] = None,
+    correlation_id: Optional[str] = None,
+    clock: Optional[float] = None,
+) -> Dict[str, Any]:
+    return {
+        "method": method,
+        "args": list(args),
+        "kwargs": dict(kwargs),
+        "call": call,
+        "multi": multi,
+        "correlation_id": correlation_id,
+        "reply_to": reply_to,
+        "sent_at": time.time() if clock is None else clock,
+    }
+
+
+def make_reply(
+    correlation_id: str,
+    result: Any = None,
+    error: Optional[str] = None,
+    responder: str = "",
+) -> Dict[str, Any]:
+    return {
+        "correlation_id": correlation_id,
+        "ok": error is None,
+        "result": result,
+        "error": error,
+        "responder": responder,
+    }
+
+
+def is_request(envelope: Dict[str, Any]) -> bool:
+    return "method" in envelope
+
+
+def is_reply(envelope: Dict[str, Any]) -> bool:
+    return "ok" in envelope and "method" not in envelope

@@ -1,0 +1,66 @@
+"""Fault-injection helpers for the reliability experiments.
+
+The Fig 8(f) experiment programs a SyncService instance to crash every 30
+seconds and measures how the Supervisor's one-second census loop restores
+service.  :class:`CrashInjector` reproduces that: on a fixed period it
+crashes one live instance of the target oid (abrupt ``kill``, so in-flight
+messages are redelivered) and lets the Supervisor respawn it.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, List, Optional
+
+from repro.objectmq.remote_broker import RemoteBroker
+
+
+class CrashInjector:
+    """Periodically crash one instance of *oid* across a RemoteBroker fleet."""
+
+    def __init__(
+        self,
+        remote_brokers: List[RemoteBroker],
+        oid: str,
+        period: float = 30.0,
+        on_crash: Optional[Callable[[str], None]] = None,
+    ):
+        if period <= 0:
+            raise ValueError("period must be positive")
+        self.remote_brokers = list(remote_brokers)
+        self.oid = oid
+        self.period = period
+        self.on_crash = on_crash
+        self.crash_count = 0
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    def crash_one(self) -> Optional[str]:
+        """Crash the first live instance found; returns its id or None."""
+        for rbroker in self.remote_brokers:
+            instances = rbroker.instances_for(self.oid)
+            for instance_id in instances:
+                if rbroker.crash_instance(self.oid, instance_id):
+                    self.crash_count += 1
+                    if self.on_crash is not None:
+                        self.on_crash(instance_id)
+                    return instance_id
+        return None
+
+    def start(self) -> None:
+        if self._thread is not None:
+            return
+        self._stop.clear()
+
+        def run() -> None:
+            while not self._stop.wait(self.period):
+                self.crash_one()
+
+        self._thread = threading.Thread(target=run, name="crash-injector", daemon=True)
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=2.0)
+            self._thread = None

@@ -1,0 +1,95 @@
+"""Future-based invocation: non-blocking @SyncMethod calls.
+
+The paper's conclusions ask whether ObjectMQ's "invocation abstractions
+can be generalized".  This module adds one natural generalization: every
+``@sync_method`` on a proxy gains a ``begin_<name>()`` companion that
+publishes the request and immediately returns a :class:`RemoteFuture`;
+the reply (or remote error) completes the future asynchronously.  Several
+calls can then be in flight from one thread, with results collected in
+any order::
+
+    futures = [proxy.begin_get_changes(ws) for ws in workspaces]
+    states = [f.result(timeout=5.0) for f in futures]
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Optional
+
+from repro.errors import RemoteInvocationError, RemoteTimeout
+
+
+class RemoteFuture:
+    """Completion handle for one in-flight sync invocation."""
+
+    def __init__(self, on_finalize: Optional[Callable[[], None]] = None):
+        self._event = threading.Event()
+        self._lock = threading.Lock()
+        self._result: Any = None
+        self._error: Optional[BaseException] = None
+        self._callbacks = []
+        self._on_finalize = on_finalize
+
+    # -- completion (called by the reply router) -----------------------------------
+
+    def set_result(self, value: Any) -> None:
+        with self._lock:
+            if self._event.is_set():
+                return
+            self._result = value
+            self._event.set()
+            callbacks = list(self._callbacks)
+        self._finalize()
+        for callback in callbacks:
+            callback(self)
+
+    def set_error(self, error: BaseException) -> None:
+        with self._lock:
+            if self._event.is_set():
+                return
+            self._error = error
+            self._event.set()
+            callbacks = list(self._callbacks)
+        self._finalize()
+        for callback in callbacks:
+            callback(self)
+
+    def _finalize(self) -> None:
+        if self._on_finalize is not None:
+            try:
+                self._on_finalize()
+            finally:
+                self._on_finalize = None
+
+    # -- consumption -----------------------------------------------------------------
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def result(self, timeout: Optional[float] = None) -> Any:
+        """Block for the reply; raises the remote error or RemoteTimeout."""
+        if not self._event.wait(timeout):
+            self._finalize()
+            raise RemoteTimeout(
+                f"no reply within {timeout}s" if timeout else "no reply"
+            )
+        if self._error is not None:
+            raise self._error
+        return self._result
+
+    def exception(self, timeout: Optional[float] = None) -> Optional[BaseException]:
+        if not self._event.wait(timeout):
+            self._finalize()
+            raise RemoteTimeout(
+                f"no reply within {timeout}s" if timeout else "no reply"
+            )
+        return self._error
+
+    def add_done_callback(self, callback: Callable[["RemoteFuture"], None]) -> None:
+        """Run *callback(future)* on completion (immediately if done)."""
+        with self._lock:
+            if not self._event.is_set():
+                self._callbacks.append(callback)
+                return
+        callback(self)

@@ -1,0 +1,118 @@
+"""Supervisor high availability: election-driven failover (§3.4).
+
+Ties the pieces together: a :class:`SupervisorNode` participates in the
+heartbeat/election protocol of :mod:`repro.objectmq.leader_election` and,
+when elected, builds and runs a fresh :class:`Supervisor` from a factory.
+The active node heartbeats on every control step, so standbys detect its
+death and the lowest-id survivor takes over — "whenever the actual
+Supervisor crashes, a leader-election algorithm will be called using the
+unique identifier of the Brokers".
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Optional
+
+from repro.objectmq.leader_election import HeartbeatEmitter, LeaderElector
+from repro.objectmq.supervisor import Supervisor
+
+
+class SupervisorNode:
+    """One participant in the HA supervisor group.
+
+    Args:
+        mom: The shared MOM system.
+        supervisor_factory: Builds a fresh, unstarted Supervisor when
+            this node becomes leader.
+        node_id: Stable unique identifier; the *smallest* id among the
+            election participants wins.
+        heartbeat_timeout: Seconds of heartbeat silence before standbys
+            start an election.
+        settle_window: Candidate-collection window of the election.
+    """
+
+    def __init__(
+        self,
+        mom,
+        supervisor_factory: Callable[[], Supervisor],
+        node_id: str,
+        heartbeat_timeout: float = 3.0,
+        settle_window: float = 0.5,
+        clock=None,
+    ):
+        self.mom = mom
+        self.supervisor_factory = supervisor_factory
+        self.node_id = node_id
+        self._lock = threading.Lock()
+        self.supervisor: Optional[Supervisor] = None
+        self._heartbeat: Optional[HeartbeatEmitter] = None
+        self._background = False
+        kwargs = {"clock": clock} if clock is not None else {}
+        self.elector = LeaderElector(
+            mom,
+            participant_id=node_id,
+            heartbeat_timeout=heartbeat_timeout,
+            settle_window=settle_window,
+            on_elected=self._promote,
+            **kwargs,
+        )
+
+    # -- leadership ----------------------------------------------------------------
+
+    @property
+    def is_leader(self) -> bool:
+        return self.elector.is_leader
+
+    def lead(self) -> Supervisor:
+        """Become the initial leader explicitly (bootstrap path)."""
+        self.elector.is_leader = True
+        self._promote()
+        return self.supervisor
+
+    def _promote(self) -> None:
+        with self._lock:
+            if self.supervisor is not None:
+                return
+            supervisor = self.supervisor_factory()
+            heartbeat = HeartbeatEmitter(self.mom, supervisor_id=self.node_id)
+            supervisor.set_heartbeat_callback(heartbeat.beat)
+            self.supervisor = supervisor
+            self._heartbeat = heartbeat
+            background = self._background
+        if background:
+            supervisor.start()
+
+    # -- operation -------------------------------------------------------------------
+
+    def tick(self, now: Optional[float] = None) -> None:
+        """Deterministic single step (tests): election tick + one control
+        period when leading."""
+        self.elector.tick(now)
+        with self._lock:
+            supervisor = self.supervisor
+        if supervisor is not None:
+            supervisor.step()
+
+    def start(self, poll_interval: float = 0.2) -> None:
+        """Run in the background: elector always, supervisor when leading."""
+        with self._lock:
+            self._background = True
+            supervisor = self.supervisor
+        self.elector.start(poll_interval)
+        if supervisor is not None:
+            supervisor.start()
+
+    def crash(self) -> None:
+        """Simulate the node dying: supervisor and heartbeats stop."""
+        self.stop()
+
+    def stop(self) -> None:
+        self.elector.stop()
+        with self._lock:
+            supervisor, self.supervisor = self.supervisor, None
+            heartbeat, self._heartbeat = self._heartbeat, None
+        if supervisor is not None:
+            supervisor.stop()
+        if heartbeat is not None:
+            heartbeat.stop()

@@ -1,0 +1,134 @@
+"""Introspection: the paper's ``HasObjectInfo`` hook (§3.3, Fig 3).
+
+Every bound remote object carries an :class:`ObjectInfo` that its skeleton
+updates on each invocation: processed counts, service-time statistics, and
+whether the instance is currently busy.  Provisioners consume snapshots of
+these to decide "messages are not being processed at the adequate speed —
+ask for another server instance", or "one server is idle — suppress it".
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class ObjectInfoSnapshot:
+    """Immutable view of one instance's statistics at a point in time."""
+
+    oid: str
+    instance_id: str
+    broker_id: str
+    processed: int
+    errors: int
+    busy: bool
+    mean_service_time: float
+    service_time_variance: float
+    last_invocation_at: Optional[float]
+    uptime: float
+
+    def to_wire(self) -> dict:
+        return {
+            "oid": self.oid,
+            "instance_id": self.instance_id,
+            "broker_id": self.broker_id,
+            "processed": self.processed,
+            "errors": self.errors,
+            "busy": self.busy,
+            "mean_service_time": self.mean_service_time,
+            "service_time_variance": self.service_time_variance,
+            "last_invocation_at": self.last_invocation_at,
+            "uptime": self.uptime,
+        }
+
+    @classmethod
+    def from_wire(cls, data: dict) -> "ObjectInfoSnapshot":
+        return cls(**data)
+
+
+class ObjectInfo:
+    """Mutable, thread-safe per-instance statistics (Welford online stats)."""
+
+    def __init__(self, oid: str, instance_id: str, broker_id: str = ""):
+        self.oid = oid
+        self.instance_id = instance_id
+        self.broker_id = broker_id
+        self._lock = threading.Lock()
+        self._processed = 0
+        self._errors = 0
+        self._busy = False
+        self._mean = 0.0
+        self._m2 = 0.0
+        self._last_invocation_at: Optional[float] = None
+        self._started_at = time.time()
+
+    def invocation_started(self) -> None:
+        with self._lock:
+            self._busy = True
+
+    def invocation_finished(self, service_time: float, error: bool = False) -> None:
+        with self._lock:
+            self._busy = False
+            self._processed += 1
+            if error:
+                self._errors += 1
+            self._last_invocation_at = time.time()
+            delta = service_time - self._mean
+            self._mean += delta / self._processed
+            self._m2 += delta * (service_time - self._mean)
+
+    def snapshot(self) -> ObjectInfoSnapshot:
+        with self._lock:
+            variance = self._m2 / (self._processed - 1) if self._processed > 1 else 0.0
+            return ObjectInfoSnapshot(
+                oid=self.oid,
+                instance_id=self.instance_id,
+                broker_id=self.broker_id,
+                processed=self._processed,
+                errors=self._errors,
+                busy=self._busy,
+                mean_service_time=self._mean,
+                service_time_variance=variance,
+                last_invocation_at=self._last_invocation_at,
+                uptime=time.time() - self._started_at,
+            )
+
+
+class HasObjectInfo:
+    """Mixin for remote objects that expose their statistics.
+
+    The ObjectMQ skeleton attaches an :class:`ObjectInfo` to any bound
+    object (whether or not it subclasses this mixin); subclassing simply
+    gives application code typed access to ``self.object_info``.
+    """
+
+    object_info: Optional[ObjectInfo] = None
+
+
+@dataclass
+class PoolObservation:
+    """What a Provisioner sees each control period (paper Fig 3).
+
+    Combines queue-level metrics from the MOM broker (arrival rate, depth)
+    with instance-level metrics from ObjectInfo snapshots.
+    """
+
+    oid: str
+    timestamp: float
+    instance_count: int
+    queue_depth: int
+    arrival_rate: float  # requests/second observed over the last period
+    interarrival_variance: float
+    mean_service_time: float
+    service_time_variance: float
+    instances: List[ObjectInfoSnapshot] = field(default_factory=list)
+
+    @property
+    def utilization(self) -> float:
+        """Offered load ρ = λ·s / n (dimensionless)."""
+        if self.instance_count == 0:
+            return float("inf") if self.arrival_rate > 0 else 0.0
+        return self.arrival_rate * self.mean_service_time / self.instance_count

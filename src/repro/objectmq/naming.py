@@ -1,0 +1,16 @@
+"""Queue/exchange naming conventions shared by proxies and skeletons."""
+
+from __future__ import annotations
+
+#: Suffix of the fanout exchange carrying @MultiMethod calls for an oid.
+MULTI_EXCHANGE_SUFFIX = ".multi"
+
+
+def multi_exchange_name(oid: str) -> str:
+    """Name of the fanout exchange broadcasting to all instances of *oid*."""
+    return oid + MULTI_EXCHANGE_SUFFIX
+
+
+def response_queue_name(client_id: str) -> str:
+    """Name of a connected Broker's private reply queue."""
+    return f"response.{client_id}"

@@ -1,0 +1,156 @@
+"""The Provisioner hotspot of the elasticity framework (§3.3, Fig 3).
+
+A :class:`Provisioner` observes a server-object pool (queue metrics +
+instance introspection) each control period and proposes how many
+instances should exist.  The :class:`~repro.objectmq.supervisor.Supervisor`
+enforces the proposal.  Third parties plug in policies by subclassing —
+the paper's predictive and reactive policies live in
+:mod:`repro.elasticity`.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import List, Optional
+
+from repro.objectmq.introspection import PoolObservation
+
+
+class Provisioner(ABC):
+    """Extensible hook deciding the size of a server-object pool."""
+
+    #: Human-readable policy name, used in experiment reports.
+    name = "provisioner"
+
+    @abstractmethod
+    def propose(self, observation: PoolObservation) -> int:
+        """Return the number of instances this policy wants right now."""
+
+    def reset(self) -> None:
+        """Clear internal state (history windows, EWMA, ...)."""
+
+
+class FixedProvisioner(Provisioner):
+    """Always propose a constant pool size (the no-elasticity baseline)."""
+
+    name = "fixed"
+
+    def __init__(self, instances: int = 1):
+        if instances < 0:
+            raise ValueError("instances must be >= 0")
+        self.instances = instances
+
+    def propose(self, observation: PoolObservation) -> int:
+        return self.instances
+
+
+class UtilizationProvisioner(Provisioner):
+    """Naive CPU/utilization-threshold scaling — the coarse-grained cloud
+    baseline the paper argues against (§1, §4.3).
+
+    Scales up by one when offered utilization exceeds *high*, down by one
+    when it falls below *low*.  Included as an ablation baseline: it reacts
+    only after saturation is already observable and one step at a time, so
+    it lags fast diurnal ramps.
+    """
+
+    name = "utilization-threshold"
+
+    def __init__(self, high: float = 0.8, low: float = 0.3):
+        if not 0 <= low < high:
+            raise ValueError("need 0 <= low < high")
+        self.high = high
+        self.low = low
+
+    def propose(self, observation: PoolObservation) -> int:
+        current = max(1, observation.instance_count)
+        utilization = observation.utilization
+        if utilization > self.high:
+            return current + 1
+        if utilization < self.low and current > 1:
+            return current - 1
+        return current
+
+
+class QueueDepthProvisioner(Provisioner):
+    """Ad-hoc policy on queue backlog — the paper's "observe that messages
+    are not being processed at the adequate speed" example (§3.3).
+
+    Scales so that the ready backlog per instance stays below
+    ``max_backlog_per_instance``; shrinks when the pool could absorb the
+    backlog with fewer instances at ``shrink_fill`` occupancy.  Purely
+    queue-driven: no model of service times, no history — the simplest
+    useful demonstration of the Provisioner hotspot.
+    """
+
+    name = "queue-depth"
+
+    def __init__(self, max_backlog_per_instance: int = 10, shrink_fill: float = 0.3):
+        if max_backlog_per_instance < 1:
+            raise ValueError("max_backlog_per_instance must be >= 1")
+        if not 0 < shrink_fill < 1:
+            raise ValueError("shrink_fill must be in (0, 1)")
+        self.max_backlog_per_instance = max_backlog_per_instance
+        self.shrink_fill = shrink_fill
+
+    def propose(self, observation: PoolObservation) -> int:
+        current = max(1, observation.instance_count)
+        needed = -(-observation.queue_depth // self.max_backlog_per_instance)  # ceil
+        if needed > current:
+            return needed
+        comfortable = -(
+            -observation.queue_depth
+            // max(1, int(self.max_backlog_per_instance * self.shrink_fill))
+        )
+        if observation.queue_depth == 0 and not any(
+            s.busy for s in observation.instances
+        ):
+            # Fully idle pool: release one instance per period.
+            return max(1, current - 1)
+        return max(1, min(current, max(comfortable, 1)))
+
+
+class MaxOfProvisioners(Provisioner):
+    """Combine policies by taking the maximum proposal.
+
+    The paper's deployment runs the predictive policy for the long time
+    scale and lets the reactive policy override it upward on short time
+    scales — which is exactly max-composition.
+    """
+
+    name = "max-of"
+
+    def __init__(self, provisioners: List[Provisioner]):
+        if not provisioners:
+            raise ValueError("need at least one provisioner")
+        self.provisioners = list(provisioners)
+        self.name = "max(" + ",".join(p.name for p in self.provisioners) + ")"
+
+    def propose(self, observation: PoolObservation) -> int:
+        return max(p.propose(observation) for p in self.provisioners)
+
+    def reset(self) -> None:
+        for provisioner in self.provisioners:
+            provisioner.reset()
+
+
+class BoundedProvisioner(Provisioner):
+    """Clamp another policy's proposal into ``[minimum, maximum]``."""
+
+    def __init__(self, inner: Provisioner, minimum: int = 1, maximum: Optional[int] = None):
+        if maximum is not None and maximum < minimum:
+            raise ValueError("maximum must be >= minimum")
+        self.inner = inner
+        self.minimum = minimum
+        self.maximum = maximum
+        self.name = f"bounded({inner.name})"
+
+    def propose(self, observation: PoolObservation) -> int:
+        proposal = self.inner.propose(observation)
+        proposal = max(self.minimum, proposal)
+        if self.maximum is not None:
+            proposal = min(self.maximum, proposal)
+        return proposal
+
+    def reset(self) -> None:
+        self.inner.reset()

@@ -1,0 +1,242 @@
+"""Dynamic client stubs (§3.1-3.2).
+
+A :class:`Proxy` is generated at ``lookup`` time from a @remote_interface
+class: no compilation, no preprocessing, no knowledge of server addresses.
+Each interface method becomes a bound callable whose behaviour follows its
+:class:`~repro.objectmq.annotations.CallSpec`:
+
+========  =====  ==============================================
+kind      multi  behaviour
+========  =====  ==============================================
+async     no     publish to the ``oid`` queue, return None
+sync      no     publish + block on the reply (timeout × retries)
+async     yes    publish to the ``oid.multi`` fanout, return count
+sync      yes    fanout publish + collect replies until timeout
+========  =====  ==============================================
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+import time
+from typing import Any, Dict, List
+
+from repro.errors import DeliveryError, RemoteInvocationError, RemoteTimeout
+from repro.mom.message import Message, PERSISTENT
+from repro.objectmq.annotations import CallSpec
+from repro.objectmq.naming import multi_exchange_name
+from repro.objectmq.envelope import make_request, new_correlation_id
+
+logger = logging.getLogger(__name__)
+
+
+class CallStats:
+    """Per-proxy client-side latency statistics (thread-safe)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.calls = 0
+        self.timeouts = 0
+        self.response_times: List[float] = []
+
+    def record(self, elapsed: float) -> None:
+        with self._lock:
+            self.calls += 1
+            self.response_times.append(elapsed)
+
+    def record_timeout(self) -> None:
+        with self._lock:
+            self.calls += 1
+            self.timeouts += 1
+
+
+class Proxy:
+    """Client stub for one remote object identifier."""
+
+    def __init__(self, broker, oid: str, specs: Dict[str, CallSpec], interface_name: str):
+        self._broker = broker
+        self._oid = oid
+        self._interface_name = interface_name
+        self._specs = specs
+        self.call_stats = CallStats()
+        for method_name, spec in specs.items():
+            setattr(self, method_name, self._make_method(method_name, spec))
+
+    def __repr__(self) -> str:
+        return f"<Proxy {self._interface_name} -> {self._oid!r}>"
+
+    # -- stub construction -----------------------------------------------------
+
+    def _make_method(self, method_name: str, spec: CallSpec):
+        if spec.multi and spec.kind == "sync":
+            def call(*args: Any, **kwargs: Any) -> List[Any]:
+                return self._invoke_multi_sync(method_name, spec, args, kwargs)
+        elif spec.multi:
+            def call(*args: Any, **kwargs: Any) -> int:
+                return self._invoke_multi_async(method_name, spec, args, kwargs)
+        elif spec.kind == "sync":
+            def call(*args: Any, **kwargs: Any) -> Any:
+                return self._invoke_sync(method_name, spec, args, kwargs)
+        else:
+            def call(*args: Any, **kwargs: Any) -> None:
+                self._invoke_async(method_name, spec, args, kwargs)
+
+        call.__name__ = method_name
+        call.__qualname__ = f"{self._interface_name}.{method_name}"
+
+        if spec.kind == "sync" and not spec.multi:
+            # Future-based companion: begin_<name>() returns a
+            # RemoteFuture instead of blocking (see repro.objectmq.futures).
+            def begin(*args: Any, **kwargs: Any):
+                return self._invoke_begin(method_name, spec, args, kwargs)
+
+            begin.__name__ = f"begin_{method_name}"
+            begin.__qualname__ = f"{self._interface_name}.begin_{method_name}"
+            setattr(self, f"begin_{method_name}", begin)
+        return call
+
+    # -- invocation paths ----------------------------------------------------------
+
+    def _publish(self, exchange: str, routing_key: str, envelope: dict) -> int:
+        if self._broker.call_context:
+            envelope["context"] = dict(self._broker.call_context)
+        body = self._broker.codec.encode(envelope)
+        message = Message(
+            body=body,
+            routing_key=routing_key,
+            reply_to=envelope.get("reply_to"),
+            correlation_id=envelope.get("correlation_id"),
+            delivery_mode=PERSISTENT,
+        )
+        return self._broker.mom.publish(exchange, routing_key, message)
+
+    def _invoke_async(self, method: str, spec: CallSpec, args, kwargs) -> None:
+        envelope = make_request(method, list(args), kwargs, call="async", multi=False)
+        self._publish("", self._oid, envelope)
+
+    def _invoke_sync(self, method: str, spec: CallSpec, args, kwargs) -> Any:
+        correlation_id = new_correlation_id()
+        envelope = make_request(
+            method,
+            list(args),
+            kwargs,
+            call="sync",
+            multi=False,
+            reply_to=self._broker.response_queue_name,
+            correlation_id=correlation_id,
+        )
+        waiter = self._broker.register_waiter(correlation_id)
+        started = time.perf_counter()
+        try:
+            attempts = 1 + max(0, spec.retry)
+            for attempt in range(attempts):
+                self._publish("", self._oid, envelope)
+                reply = waiter.take(spec.timeout)
+                if reply is not None:
+                    self.call_stats.record(time.perf_counter() - started)
+                    return self._unwrap(method, reply)
+                logger.debug(
+                    "sync call %s.%s attempt %d/%d timed out",
+                    self._oid, method, attempt + 1, attempts,
+                )
+            self.call_stats.record_timeout()
+            raise RemoteTimeout(
+                f"{self._interface_name}.{method} on {self._oid!r}: no reply after "
+                f"{attempts} attempt(s) x {spec.timeout}s"
+            )
+        finally:
+            self._broker.unregister_waiter(correlation_id)
+
+    def _invoke_begin(self, method: str, spec: CallSpec, args, kwargs):
+        """Publish a sync request, return a RemoteFuture for its reply.
+
+        Unlike the blocking path there are no republish retries: the
+        caller owns the timeout via ``future.result(timeout)``, and the
+        MOM's at-least-once delivery already covers server crashes.
+        """
+        from repro.objectmq.futures import RemoteFuture
+
+        correlation_id = new_correlation_id()
+        envelope = make_request(
+            method,
+            list(args),
+            kwargs,
+            call="sync",
+            multi=False,
+            reply_to=self._broker.response_queue_name,
+            correlation_id=correlation_id,
+        )
+        waiter = self._broker.register_waiter(correlation_id)
+        future = RemoteFuture(
+            on_finalize=lambda: self._broker.unregister_waiter(correlation_id)
+        )
+
+        def complete(reply: dict) -> None:
+            if reply.get("ok"):
+                future.set_result(reply.get("result"))
+            else:
+                future.set_error(
+                    RemoteInvocationError(method, reply.get("error") or "unknown error")
+                )
+
+        waiter.on_put = complete
+        try:
+            self._publish("", self._oid, envelope)
+        except Exception as exc:  # publish failure completes the future
+            future.set_error(exc)
+        return future
+
+    def _invoke_multi_async(self, method: str, spec: CallSpec, args, kwargs) -> int:
+        envelope = make_request(method, list(args), kwargs, call="async", multi=True)
+        try:
+            return self._publish(self._multi_exchange(), self._oid, envelope)
+        except DeliveryError:
+            # Nobody is bound to the fanout yet: a multicast to an empty
+            # group is a no-op, not an error.
+            return 0
+
+    def _invoke_multi_sync(self, method: str, spec: CallSpec, args, kwargs) -> List[Any]:
+        correlation_id = new_correlation_id()
+        envelope = make_request(
+            method,
+            list(args),
+            kwargs,
+            call="sync",
+            multi=True,
+            reply_to=self._broker.response_queue_name,
+            correlation_id=correlation_id,
+        )
+        waiter = self._broker.register_waiter(correlation_id)
+        results: List[Any] = []
+        started = time.perf_counter()
+        try:
+            try:
+                fanout = self._publish(self._multi_exchange(), self._oid, envelope)
+            except DeliveryError:
+                return []
+            needed = fanout if spec.quorum is None else min(spec.quorum, fanout)
+            deadline = time.monotonic() + spec.timeout
+            while len(results) < needed:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                reply = waiter.take(remaining)
+                if reply is None:
+                    break
+                results.append(self._unwrap(method, reply))
+            self.call_stats.record(time.perf_counter() - started)
+            return results
+        finally:
+            self._broker.unregister_waiter(correlation_id)
+
+    def _multi_exchange(self) -> str:
+        exchange = multi_exchange_name(self._oid)
+        self._broker.mom.declare_exchange(exchange, "fanout")
+        return exchange
+
+    @staticmethod
+    def _unwrap(method: str, reply: dict) -> Any:
+        if reply.get("ok"):
+            return reply.get("result")
+        raise RemoteInvocationError(method, reply.get("error") or "unknown error")

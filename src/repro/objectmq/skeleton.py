@@ -1,0 +1,150 @@
+"""Server-side dispatcher for one bound remote object instance.
+
+A :class:`Skeleton` subscribes the instance to two queues (Fig 1):
+
+* the shared **unicast queue** named ``oid`` — the MOM round-robins each
+  message to one idle instance (prefetch 1), which is ObjectMQ's
+  transparent load balancing;
+* the instance's **private queue** ``oid.inst.<id>``, bound to the fanout
+  exchange ``oid.multi`` — every @MultiMethod call reaches every instance.
+
+Deliveries are acked only after the invocation finishes, so a crash while
+processing re-queues the message for another instance (§3.4).
+"""
+
+from __future__ import annotations
+
+import logging
+import time
+import uuid
+from typing import Any
+
+from repro.mom.message import Delivery, Message, PERSISTENT
+from repro.objectmq.naming import multi_exchange_name
+from repro.objectmq.envelope import make_reply
+from repro.objectmq.introspection import ObjectInfo
+
+logger = logging.getLogger(__name__)
+
+
+class Skeleton:
+    """Dispatches decoded RPC envelopes onto a target object."""
+
+    def __init__(
+        self, broker, oid: str, target: Any, prefetch: int = 1, interceptors=None
+    ):
+        self.broker = broker
+        self.oid = oid
+        self.target = target
+        self.prefetch = prefetch
+        self.interceptors = list(interceptors or ())
+        self.instance_id = f"{oid}.inst.{uuid.uuid4().hex[:12]}"
+        self.object_info = ObjectInfo(
+            oid=oid, instance_id=self.instance_id, broker_id=broker.client_id
+        )
+        # Give HasObjectInfo subclasses (and duck-typed peers) access.
+        try:
+            target.object_info = self.object_info
+        except AttributeError:
+            pass
+        self._unicast_tag = f"{self.instance_id}.uni"
+        self._multi_tag = f"{self.instance_id}.multi"
+        self._running = False
+
+    # -- lifecycle ----------------------------------------------------------------
+
+    def start(self) -> None:
+        mom = self.broker.mom
+        mom.declare_queue(self.oid, durable=True)
+        mom.declare_exchange(multi_exchange_name(self.oid), "fanout")
+        mom.declare_queue(self.instance_id, exclusive=True)
+        mom.bind_queue(multi_exchange_name(self.oid), self.instance_id)
+        # Flip the flag *before* subscribing: queued messages are delivered
+        # synchronously with consume(), and a delivery observed while
+        # _running is False is treated as arriving into a crashed instance
+        # (never acked).
+        self._running = True
+        mom.consume(
+            self.oid, self._on_delivery, consumer_tag=self._unicast_tag,
+            prefetch=self.prefetch,
+        )
+        mom.consume(
+            self.instance_id, self._on_delivery, consumer_tag=self._multi_tag,
+            prefetch=max(self.prefetch, 8),
+        )
+
+    def stop(self) -> None:
+        """Graceful unbind: in-flight unacked messages are redelivered."""
+        if not self._running:
+            return
+        self._running = False
+        mom = self.broker.mom
+        mom.cancel(self.oid, self._unicast_tag)
+        mom.cancel(self.instance_id, self._multi_tag)
+        mom.unbind_queue(multi_exchange_name(self.oid), self.instance_id)
+        mom.delete_queue(self.instance_id)
+
+    def kill(self) -> None:
+        """Simulate a crash: identical to :meth:`stop` at the MOM level.
+
+        Unacked deliveries flow back to the shared queue with
+        ``redelivered=True`` — the fault-injection hook used by the
+        Fig 8(f) experiment.
+        """
+        self.stop()
+
+    # -- dispatch ------------------------------------------------------------------
+
+    def _on_delivery(self, delivery: Delivery) -> None:
+        if not self._running:
+            # Crash window: never ack, so the message is requeued when the
+            # consumer is cancelled.
+            return
+        envelope = None
+        error: str = ""
+        result = None
+        self.object_info.invocation_started()
+        started = time.perf_counter()
+        try:
+            envelope = self.broker.codec.decode(delivery.message.body)
+            method_name = envelope["method"]
+            method = getattr(self.target, method_name, None)
+            if method is None or not callable(method):
+                raise AttributeError(
+                    f"{type(self.target).__name__} has no method {method_name!r}"
+                )
+            args = envelope.get("args", [])
+            kwargs = envelope.get("kwargs", {})
+            context = envelope.get("context") or {}
+            for interceptor in self.interceptors:
+                interceptor(method_name, args, kwargs, context)
+            result = method(*args, **kwargs)
+        except Exception as exc:  # noqa: BLE001 - reported to caller, never fatal
+            error = f"{type(exc).__name__}: {exc}"
+            logger.debug("invocation failed on %s: %s", self.instance_id, error)
+        service_time = time.perf_counter() - started
+        self.object_info.invocation_finished(service_time, error=bool(error))
+
+        if envelope is not None and envelope.get("call") == "sync" and envelope.get("reply_to"):
+            self._send_reply(envelope, result, error)
+        # Ack last: a crash before this point re-queues the request.
+        self.broker.mom.ack(delivery)
+
+    def _send_reply(self, envelope: dict, result: Any, error: str) -> None:
+        reply = make_reply(
+            correlation_id=envelope.get("correlation_id") or "",
+            result=result if not error else None,
+            error=error or None,
+            responder=self.instance_id,
+        )
+        body = self.broker.codec.encode(reply)
+        message = Message(
+            body=body,
+            routing_key=envelope["reply_to"],
+            correlation_id=envelope.get("correlation_id"),
+            delivery_mode=PERSISTENT,
+        )
+        try:
+            self.broker.mom.publish("", envelope["reply_to"], message)
+        except Exception:  # noqa: BLE001 - the caller may be gone; that is fine
+            logger.debug("reply queue %s vanished", envelope["reply_to"])

@@ -1,0 +1,249 @@
+"""Supervisor: the Master entity enforcing provisioning policies (§3.3-3.4).
+
+Each control period the Supervisor:
+
+1. polls the RemoteBroker fleet with @MultiMethod calls (``ping``,
+   ``get_object_info``) — this doubles as a failure detector: a crashed
+   instance simply stops appearing in the census;
+2. samples the shared request queue to measure the observed arrival rate
+   λ_obs and interarrival variance;
+3. hands the resulting :class:`PoolObservation` to the active
+   :class:`~repro.objectmq.provisioner.Provisioner`;
+4. reconciles reality with the proposal by calling ``spawn``/``shutdown``
+   on RemoteBrokers.
+
+Crash repair falls out of step 4: when an instance dies, the census count
+drops below the enforced target and the Supervisor spawns a replacement —
+the behaviour measured in the paper's Fig 8(f).
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.objectmq.broker import Broker
+from repro.objectmq.introspection import ObjectInfoSnapshot, PoolObservation
+from repro.objectmq.provisioner import Provisioner
+from repro.objectmq.remote_broker import REMOTE_BROKER_OID, RemoteBrokerApi
+
+logger = logging.getLogger(__name__)
+
+
+class ArrivalMonitor:
+    """Estimates arrival rate and interarrival variance from queue counters.
+
+    Samples the monotonically increasing ``published`` counter of the
+    shared request queue.  Per-sample counts give the rate directly; the
+    interarrival variance is estimated from the dispersion of per-sample
+    counts (for a renewal process observed over windows of length w,
+    Var[N(w)] ≈ w·σ_a²/μ_a³, giving σ_a² = Var[N]·μ_a³/w).
+    """
+
+    def __init__(self, window: int = 60):
+        self.window = window
+        self._samples: List[tuple] = []  # (timestamp, cumulative_count)
+
+    def record(self, timestamp: float, cumulative_count: int) -> None:
+        self._samples.append((timestamp, cumulative_count))
+        if len(self._samples) > self.window:
+            self._samples = self._samples[-self.window :]
+
+    @property
+    def rate(self) -> float:
+        """Mean arrivals/second over the retained window."""
+        if len(self._samples) < 2:
+            return 0.0
+        (t0, c0), (t1, c1) = self._samples[0], self._samples[-1]
+        elapsed = t1 - t0
+        if elapsed <= 0:
+            return 0.0
+        return max(0.0, (c1 - c0) / elapsed)
+
+    @property
+    def interarrival_variance(self) -> float:
+        """Estimated variance of interarrival times (seconds²)."""
+        if len(self._samples) < 3:
+            return 0.0
+        counts = []
+        widths = []
+        for (t0, c0), (t1, c1) in zip(self._samples, self._samples[1:]):
+            if t1 > t0:
+                counts.append(c1 - c0)
+                widths.append(t1 - t0)
+        if not counts:
+            return 0.0
+        width = sum(widths) / len(widths)
+        mean_count = sum(counts) / len(counts)
+        if mean_count <= 0:
+            return 0.0
+        var_count = sum((c - mean_count) ** 2 for c in counts) / len(counts)
+        mean_interarrival = width / mean_count
+        # Var[N(w)] = w sigma_a^2 / mu_a^3  =>  sigma_a^2 = Var[N] mu_a^3 / w
+        return var_count * mean_interarrival**3 / width
+
+    def reset(self) -> None:
+        self._samples.clear()
+
+
+@dataclass
+class SupervisorRecord:
+    """One control-period entry in the Supervisor's history log."""
+
+    timestamp: float
+    arrival_rate: float
+    queue_depth: int
+    instances_before: int
+    desired: int
+    spawned: int
+    removed: int
+    alive_brokers: int
+
+
+@dataclass
+class SupervisorHistory:
+    records: List[SupervisorRecord] = field(default_factory=list)
+
+    def append(self, record: SupervisorRecord) -> None:
+        self.records.append(record)
+
+    def instance_series(self) -> List[int]:
+        return [r.instances_before + r.spawned - r.removed for r in self.records]
+
+
+class Supervisor:
+    """Centralized enforcement of a provisioning policy over one oid pool."""
+
+    def __init__(
+        self,
+        broker: Broker,
+        oid: str,
+        provisioner: Provisioner,
+        control_interval: float = 1.0,
+        min_instances: int = 1,
+        max_instances: int = 64,
+    ):
+        self.broker = broker
+        self.oid = oid
+        self.provisioner = provisioner
+        self.control_interval = control_interval
+        self.min_instances = min_instances
+        self.max_instances = max_instances
+        self.fleet = broker.lookup(REMOTE_BROKER_OID, RemoteBrokerApi)
+        self.monitor = ArrivalMonitor()
+        self.history = SupervisorHistory()
+        self._thread: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+        self._heartbeat_cb = None
+
+    # -- observation -------------------------------------------------------------
+
+    def observe(self, now: Optional[float] = None) -> PoolObservation:
+        """Poll fleet + queue and build this period's PoolObservation."""
+        now = time.time() if now is None else now
+        try:
+            stats = self.broker.mom.queue_stats(self.oid)
+        except Exception:  # queue not declared yet: nothing bound
+            stats = {"published": 0, "ready": 0}
+        self.monitor.record(now, stats.get("published", 0))
+
+        snapshots: List[ObjectInfoSnapshot] = []
+        for chunk in self.fleet.get_object_info(self.oid):
+            snapshots.extend(ObjectInfoSnapshot.from_wire(item) for item in chunk)
+
+        service_times = [s.mean_service_time for s in snapshots if s.processed > 0]
+        service_vars = [s.service_time_variance for s in snapshots if s.processed > 1]
+        mean_service = sum(service_times) / len(service_times) if service_times else 0.0
+        service_var = sum(service_vars) / len(service_vars) if service_vars else 0.0
+
+        return PoolObservation(
+            oid=self.oid,
+            timestamp=now,
+            instance_count=len(snapshots),
+            queue_depth=stats.get("ready", 0),
+            arrival_rate=self.monitor.rate,
+            interarrival_variance=self.monitor.interarrival_variance,
+            mean_service_time=mean_service,
+            service_time_variance=service_var,
+            instances=snapshots,
+        )
+
+    # -- control -----------------------------------------------------------------
+
+    def step(self, now: Optional[float] = None) -> SupervisorRecord:
+        """Run one control period synchronously (used by tests and benches)."""
+        observation = self.observe(now)
+        desired = self.provisioner.propose(observation)
+        desired = min(self.max_instances, max(self.min_instances, desired))
+
+        alive = self.fleet.ping()
+        spawned = removed = 0
+        current = observation.instance_count
+
+        if alive:
+            while current + spawned < desired:
+                try:
+                    self.fleet.spawn(self.oid)
+                    spawned += 1
+                except Exception:
+                    logger.exception("spawn of %s failed", self.oid)
+                    break
+            if current > desired:
+                removed = self._remove_surplus(observation, current - desired)
+
+        record = SupervisorRecord(
+            timestamp=observation.timestamp,
+            arrival_rate=observation.arrival_rate,
+            queue_depth=observation.queue_depth,
+            instances_before=current,
+            desired=desired,
+            spawned=spawned,
+            removed=removed,
+            alive_brokers=len(alive),
+        )
+        self.history.append(record)
+        if self._heartbeat_cb is not None:
+            self._heartbeat_cb()
+        return record
+
+    def _remove_surplus(self, observation: PoolObservation, surplus: int) -> int:
+        """Shut down the most idle instances first."""
+        candidates = sorted(
+            observation.instances,
+            key=lambda s: (s.busy, s.last_invocation_at or 0.0),
+        )
+        removed = 0
+        for snapshot in candidates[:surplus]:
+            acks = self.fleet.shutdown(self.oid, snapshot.instance_id)
+            if any(acks):
+                removed += 1
+        return removed
+
+    # -- background operation --------------------------------------------------------
+
+    def start(self) -> None:
+        if self._thread is not None:
+            return
+        self._stop.clear()
+        self._thread = threading.Thread(target=self._run, name="supervisor", daemon=True)
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def set_heartbeat_callback(self, callback) -> None:
+        """Called after every control step (used by the leader-election layer)."""
+        self._heartbeat_cb = callback
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.control_interval):
+            try:
+                self.step()
+            except Exception:  # noqa: BLE001 - the supervisor must survive hiccups
+                logger.exception("supervisor step failed")

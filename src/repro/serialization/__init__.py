@@ -1,0 +1,39 @@
+"""Pluggable serialization codecs for the RPC transport.
+
+Mirrors the paper's transport options (§3.4): JSON, native serialization
+(pickle), and a compact binary format (the Kryo analogue).
+"""
+
+from repro.serialization.base import Serializer, WireRegistry, global_wire_registry
+from repro.serialization.binary_codec import BinarySerializer
+from repro.serialization.json_codec import JsonSerializer
+from repro.serialization.pickle_codec import PickleSerializer
+
+#: Codec registry keyed by name, used by ObjectMQ's Environment config.
+CODECS = {
+    "json": JsonSerializer,
+    "pickle": PickleSerializer,
+    "binary": BinarySerializer,
+}
+
+
+def make_serializer(name: str) -> Serializer:
+    """Instantiate the codec registered under *name*."""
+    try:
+        return CODECS[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown codec {name!r}; available: {sorted(CODECS)}"
+        ) from None
+
+
+__all__ = [
+    "CODECS",
+    "BinarySerializer",
+    "JsonSerializer",
+    "PickleSerializer",
+    "Serializer",
+    "WireRegistry",
+    "global_wire_registry",
+    "make_serializer",
+]

@@ -1,0 +1,94 @@
+"""Codec protocol shared by the pluggable serializers.
+
+ObjectMQ "supports different transport protocols (Kryo, Java
+Serialization, JSON)" (§3.4).  We mirror that with three codecs sharing one
+protocol: JSON (readable, interoperable), pickle (the Python analogue of
+Java serialization), and a compact binary codec (the Kryo analogue).
+
+A codec maps between Python objects and bytes.  The RPC layer keeps its
+envelope (method name, args, call type) as plain dict/list/str/int/float
+structures so any codec can carry it; rich domain objects register
+``to_wire``/``from_wire`` hooks via :class:`WireRegistry`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Protocol, Tuple, Type
+
+from repro.errors import SerializationError
+
+
+class Serializer(Protocol):
+    """Encode/decode protocol implemented by all codecs."""
+
+    name: str
+
+    def encode(self, obj: Any) -> bytes:
+        """Serialize *obj* into bytes; raises SerializationError on failure."""
+        ...
+
+    def decode(self, data: bytes) -> Any:
+        """Deserialize bytes produced by :meth:`encode`."""
+        ...
+
+
+class WireRegistry:
+    """Registry mapping dataclass-like types to wire dict representations.
+
+    JSON and the binary codec cannot carry arbitrary classes; types that
+    cross the RPC boundary register a ``(to_wire, from_wire)`` pair keyed by
+    a stable type tag.  Encoded values become ``{"__wire__": tag, ...}``
+    dicts that decode back into the original type.
+    """
+
+    def __init__(self) -> None:
+        self._by_type: Dict[Type, Tuple[str, Callable[[Any], dict]]] = {}
+        self._by_tag: Dict[str, Callable[[dict], Any]] = {}
+
+    def register(
+        self,
+        cls: Type,
+        tag: str,
+        to_wire: Callable[[Any], dict],
+        from_wire: Callable[[dict], Any],
+    ) -> None:
+        self._by_type[cls] = (tag, to_wire)
+        self._by_tag[tag] = from_wire
+
+    def lower(self, obj: Any) -> Any:
+        """Recursively convert registered types into tagged dicts."""
+        entry = self._by_type.get(type(obj))
+        if entry is not None:
+            tag, to_wire = entry
+            payload = {key: self.lower(value) for key, value in to_wire(obj).items()}
+            payload["__wire__"] = tag
+            return payload
+        if isinstance(obj, dict):
+            return {key: self.lower(value) for key, value in obj.items()}
+        if isinstance(obj, (list, tuple)):
+            return [self.lower(item) for item in obj]
+        return obj
+
+    def raise_(self, obj: Any) -> Any:
+        """Recursively convert tagged dicts back into registered types."""
+        if isinstance(obj, dict):
+            tag = obj.get("__wire__")
+            raised = {
+                key: self.raise_(value)
+                for key, value in obj.items()
+                if key != "__wire__"
+            }
+            if tag is not None:
+                from_wire = self._by_tag.get(tag)
+                if from_wire is None:
+                    raise SerializationError(f"unknown wire tag {tag!r}")
+                return from_wire(raised)
+            return raised
+        if isinstance(obj, list):
+            return [self.raise_(item) for item in obj]
+        return obj
+
+
+#: Process-global registry used by the default codecs.  Domain packages
+#: (repro.sync, repro.client) register their DTOs here at import time.
+global_wire_registry = WireRegistry()

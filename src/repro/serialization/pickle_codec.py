@@ -1,0 +1,34 @@
+"""Pickle codec — the Python analogue of Java serialization.
+
+Fast and fully general within one trust domain.  Only use between
+components you control (as the paper's StackSync does with Java
+serialization between its own client and server).
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Any
+
+from repro.errors import SerializationError
+
+
+class PickleSerializer:
+    """Encode/decode via the stdlib pickle protocol."""
+
+    name = "pickle"
+
+    def __init__(self, protocol: int = pickle.HIGHEST_PROTOCOL):
+        self.protocol = protocol
+
+    def encode(self, obj: Any) -> bytes:
+        try:
+            return pickle.dumps(obj, protocol=self.protocol)
+        except Exception as exc:  # pickle raises many distinct types
+            raise SerializationError(f"pickle encode failed: {exc}") from exc
+
+    def decode(self, data: bytes) -> Any:
+        try:
+            return pickle.loads(data)
+        except Exception as exc:
+            raise SerializationError(f"pickle decode failed: {exc}") from exc

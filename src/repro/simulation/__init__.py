@@ -1,0 +1,39 @@
+"""Discrete-event simulation substrate for the auto-scaling experiments."""
+
+from repro.simulation.autoscale import (
+    AutoscaleSimulation,
+    ControlRecord,
+    SimConfig,
+    SimResult,
+)
+from repro.simulation.des import EventLoop
+from repro.simulation.metrics import (
+    BoxplotStats,
+    boxplot_stats,
+    bucket_by_time,
+    fraction_above,
+    percentile,
+)
+from repro.simulation.server import (
+    CompletedRequest,
+    ServerPool,
+    ServiceTimeDistribution,
+    poisson_arrival_times,
+)
+
+__all__ = [
+    "AutoscaleSimulation",
+    "BoxplotStats",
+    "CompletedRequest",
+    "ControlRecord",
+    "EventLoop",
+    "ServerPool",
+    "ServiceTimeDistribution",
+    "SimConfig",
+    "SimResult",
+    "boxplot_stats",
+    "bucket_by_time",
+    "fraction_above",
+    "percentile",
+    "poisson_arrival_times",
+]

@@ -1,0 +1,212 @@
+"""Trace-driven auto-scaling simulation (the Fig 8 experiments).
+
+Wires together:
+
+* a per-second arrival trace (normally from
+  :class:`~repro.workload.ubuntuone.UbuntuOneTraceGenerator`),
+* the G/G/c :class:`~repro.simulation.server.ServerPool`, and
+* any :class:`~repro.objectmq.provisioner.Provisioner` (fixed,
+  utilization-threshold, predictive, reactive, or combined),
+
+with a Supervisor-like control loop that observes the arrival rate every
+``control_interval`` simulated seconds, asks the provisioner for a pool
+size, and applies it.  The result records everything the paper plots:
+instance counts over time (Fig 8a/8d), response times (Fig 8b/8e), and
+observed vs predicted arrival rates (Fig 8c).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.elasticity.ggone import PAPER_PARAMETERS, SlaParameters
+from repro.objectmq.introspection import PoolObservation
+from repro.objectmq.provisioner import Provisioner
+from repro.simulation.des import EventLoop
+from repro.simulation.metrics import boxplot_stats, bucket_by_time, fraction_above
+from repro.simulation.server import (
+    CompletedRequest,
+    ServerPool,
+    ServiceTimeDistribution,
+    poisson_arrival_times,
+)
+
+
+@dataclass(frozen=True)
+class SimConfig:
+    """Knobs of one auto-scaling simulation run."""
+
+    params: SlaParameters = PAPER_PARAMETERS
+    #: Supervisor control period, simulated seconds.
+    control_interval: float = 5.0
+    #: Window over which λ_obs is measured, simulated seconds.
+    observation_window: float = 30.0
+    min_instances: int = 1
+    max_instances: int = 64
+    #: Instance start-up time (produces the paper's scaling spikes).
+    spawn_delay: float = 1.0
+    #: Added to simulation time before it reaches the provisioner, so a
+    #: run can represent e.g. "day 8, hour 20" of the trace.
+    time_origin: float = 0.0
+    seed: int = 1
+
+
+@dataclass
+class ControlRecord:
+    """One control-period decision, for the Fig 8 time series."""
+
+    timestamp: float
+    lam_obs: float
+    lam_pred: float
+    capacity_before: int
+    desired: int
+    queue_depth: int
+
+
+@dataclass
+class SimResult:
+    """Everything a Fig 8 plot needs."""
+
+    config: SimConfig
+    control_records: List[ControlRecord] = field(default_factory=list)
+    #: (completion time, response time) samples.
+    response_samples: List[Tuple[float, float]] = field(default_factory=list)
+    total_arrivals: int = 0
+    total_completed: int = 0
+
+    def capacity_series(self) -> List[Tuple[float, int]]:
+        return [(r.timestamp, r.capacity_before) for r in self.control_records]
+
+    def max_capacity(self) -> int:
+        return max((r.capacity_before for r in self.control_records), default=0)
+
+    def response_times(self) -> List[float]:
+        return [rt for _t, rt in self.response_samples]
+
+    def sla_violation_fraction(self, sla: Optional[float] = None) -> float:
+        sla = self.config.params.d if sla is None else sla
+        return fraction_above(self.response_times(), sla)
+
+    def response_percentile_series(
+        self, bucket: float, fraction: float = 0.95
+    ) -> List[Tuple[float, float]]:
+        """Per-bucket response-time percentile (the Fig 8b/8e series)."""
+        from repro.simulation.metrics import percentile
+
+        grouped = bucket_by_time(self.response_samples, bucket)
+        return [
+            (index * bucket, percentile(values, fraction))
+            for index, values in sorted(grouped.items())
+        ]
+
+    def boxplot(self):
+        return boxplot_stats(self.response_times())
+
+
+class AutoscaleSimulation:
+    """One trace-driven run of the elastic SyncService pool."""
+
+    def __init__(
+        self,
+        arrivals_per_second: List[int],
+        provisioner: Provisioner,
+        config: Optional[SimConfig] = None,
+    ):
+        self.arrivals = list(arrivals_per_second)
+        self.provisioner = provisioner
+        self.config = config if config is not None else SimConfig()
+
+    # -- observation ---------------------------------------------------------------
+
+    def _window_stats(self, now: float) -> Tuple[float, float]:
+        """(λ_obs, σ_a²) over the trailing observation window."""
+        window = self.config.observation_window
+        start = max(0, int(now - window))
+        end = max(start + 1, int(now))
+        counts = self.arrivals[start:end]
+        if not counts:
+            return 0.0, 0.0
+        lam = sum(counts) / len(counts)
+        if lam <= 0:
+            return 0.0, 0.0
+        mean = lam
+        var_counts = sum((c - mean) ** 2 for c in counts) / len(counts)
+        mean_interarrival = 1.0 / lam
+        sigma_a2 = var_counts * mean_interarrival**3  # window width = 1s
+        return lam, sigma_a2
+
+    def _predicted_rate(self, timestamp: float) -> float:
+        predictive = getattr(self.provisioner, "predictive", None)
+        if predictive is not None and hasattr(predictive, "predicted_rate"):
+            return predictive.predicted_rate(timestamp)
+        if hasattr(self.provisioner, "predicted_rate"):
+            return self.provisioner.predicted_rate(timestamp)
+        return 0.0
+
+    # -- run --------------------------------------------------------------------------
+
+    def run(self) -> SimResult:
+        config = self.config
+        loop = EventLoop()
+        rng = random.Random(config.seed)
+        service = ServiceTimeDistribution(
+            mean=config.params.s,
+            variance=config.params.sigma_b2,
+            rng=random.Random(rng.getrandbits(64)),
+        )
+        pool = ServerPool(
+            loop,
+            service,
+            initial_capacity=config.min_instances,
+            spawn_delay=config.spawn_delay,
+        )
+        result = SimResult(config=config)
+
+        for when in poisson_arrival_times(
+            self.arrivals, rng=random.Random(rng.getrandbits(64))
+        ):
+            loop.schedule_at(when, pool.arrive)
+
+        duration = float(len(self.arrivals))
+
+        def control_step() -> None:
+            now = loop.now
+            timestamp = config.time_origin + now
+            lam_obs, sigma_a2 = self._window_stats(now)
+            observation = PoolObservation(
+                oid="syncservice",
+                timestamp=timestamp,
+                instance_count=pool.capacity,
+                queue_depth=pool.queue_depth,
+                arrival_rate=lam_obs,
+                interarrival_variance=sigma_a2,
+                mean_service_time=config.params.s,
+                service_time_variance=config.params.sigma_b2,
+            )
+            desired = self.provisioner.propose(observation)
+            desired = min(config.max_instances, max(config.min_instances, desired))
+            result.control_records.append(
+                ControlRecord(
+                    timestamp=now,
+                    lam_obs=lam_obs,
+                    lam_pred=self._predicted_rate(timestamp),
+                    capacity_before=pool.capacity,
+                    desired=desired,
+                    queue_depth=pool.queue_depth,
+                )
+            )
+            if desired != pool.capacity:
+                pool.set_capacity(desired)
+            if now + config.control_interval <= duration:
+                loop.schedule(config.control_interval, control_step)
+
+        loop.schedule_at(0.0, control_step)
+        # Let in-flight work finish after the trace ends (small grace).
+        loop.run_until(duration + 30.0)
+
+        result.response_samples = pool.response_times()
+        result.total_arrivals = pool.total_arrivals
+        result.total_completed = pool.total_completed
+        return result

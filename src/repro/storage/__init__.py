@@ -1,0 +1,23 @@
+"""Swift-like object storage back-end (ring, nodes, proxy, latency, GC)."""
+
+from repro.storage.latency import (
+    LAN_PROFILE,
+    LatencyModel,
+    LatencyProfile,
+    ZERO_PROFILE,
+)
+from repro.storage.gc import ChunkGarbageCollector, GcReport
+from repro.storage.object_store import StorageNode, SwiftLikeStore
+from repro.storage.ring import HashRing
+
+__all__ = [
+    "ChunkGarbageCollector",
+    "GcReport",
+    "LAN_PROFILE",
+    "ZERO_PROFILE",
+    "HashRing",
+    "LatencyModel",
+    "LatencyProfile",
+    "StorageNode",
+    "SwiftLikeStore",
+]

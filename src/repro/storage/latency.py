@@ -1,0 +1,87 @@
+"""Latency/bandwidth model for the simulated storage and network paths.
+
+The paper's testbed is a LAN OpenStack Swift deployment; chunk transfer
+time there is dominated by a per-request cost plus a bandwidth term.  The
+model below charges ``base + size/bandwidth (+ jitter)`` per operation and
+can either *sleep* that long (live mode, for the Fig 7e/f sync-time
+experiments) or merely *account* it (metered mode, for traffic-only
+experiments where wall-clock time is irrelevant).
+
+Benches use a scaled-down profile so the suite runs in seconds while
+keeping the shape (a fixed floor for small files, linear growth for large
+ones — exactly the knee the paper observes around 2.5 MB in Fig 7(f)).
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class LatencyProfile:
+    """Parameters of the affine latency model.
+
+    Attributes:
+        base: Fixed per-operation latency, seconds (connection setup,
+            proxy hop, request processing).
+        bandwidth: Payload throughput in bytes/second.
+        jitter: Uniform jitter amplitude as a fraction of the computed
+            latency (0.1 = ±10%).
+    """
+
+    base: float = 0.010
+    bandwidth: float = 50e6
+    jitter: float = 0.10
+
+    def scaled(self, factor: float) -> "LatencyProfile":
+        """A profile with all times multiplied by *factor* (<1 = faster)."""
+        return LatencyProfile(
+            base=self.base * factor,
+            bandwidth=self.bandwidth / factor if factor > 0 else float("inf"),
+            jitter=self.jitter,
+        )
+
+
+#: Rough LAN profile matching the paper's local-cluster testbed.
+LAN_PROFILE = LatencyProfile(base=0.010, bandwidth=50e6, jitter=0.10)
+#: Zero-cost profile for pure-logic tests.
+ZERO_PROFILE = LatencyProfile(base=0.0, bandwidth=float("inf"), jitter=0.0)
+
+
+class LatencyModel:
+    """Computes, accumulates and (optionally) sleeps operation latencies."""
+
+    def __init__(
+        self,
+        profile: LatencyProfile = LAN_PROFILE,
+        sleep: bool = True,
+        rng: Optional[random.Random] = None,
+    ):
+        self.profile = profile
+        self.sleep_enabled = sleep
+        self._rng = rng if rng is not None else random.Random(0xC0FFEE)
+        self._lock = threading.Lock()
+        self.total_simulated = 0.0
+        self.operations = 0
+
+    def latency_for(self, nbytes: int) -> float:
+        latency = self.profile.base
+        if self.profile.bandwidth and self.profile.bandwidth != float("inf"):
+            latency += nbytes / self.profile.bandwidth
+        if self.profile.jitter > 0:
+            latency *= 1.0 + self._rng.uniform(-self.profile.jitter, self.profile.jitter)
+        return max(0.0, latency)
+
+    def charge(self, nbytes: int) -> float:
+        """Account (and possibly sleep) one operation; returns its latency."""
+        latency = self.latency_for(nbytes)
+        with self._lock:
+            self.total_simulated += latency
+            self.operations += 1
+        if self.sleep_enabled and latency > 0:
+            time.sleep(latency)
+        return latency

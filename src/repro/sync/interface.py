@@ -1,0 +1,79 @@
+"""Remote interfaces of the StackSync protocol — the paper's Fig 6.
+
+The SyncService interface exposes exactly the three operations of the
+paper (``getWorkspaces``, ``getChanges``, ``commitRequest``) with the same
+invocation semantics and the same retry/timeout configuration; the
+RemoteWorkspace interface carries the one-to-many ``notifyCommit`` push.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.objectmq.annotations import (
+    Remote,
+    async_method,
+    multi_method,
+    remote_interface,
+    sync_method,
+)
+
+#: Well-known oid the SyncService pool binds under.
+SYNC_SERVICE_OID = "syncservice"
+
+
+def workspace_oid(workspace_id: str) -> str:
+    """The oid whose fanout carries a workspace's commit notifications."""
+    return f"workspace.{workspace_id}"
+
+
+@remote_interface
+class SyncServiceApi(Remote):
+    """Client-to-server operations (Fig 6, upper interface)."""
+
+    @sync_method(retry=5, timeout=1.5)
+    def get_workspaces(self, user_id: str) -> List:
+        """Workspaces the user may access; called once at startup."""
+        raise NotImplementedError
+
+    @sync_method(retry=5, timeout=1.5)
+    def get_changes(self, workspace_id: str) -> List:
+        """Full current state of a workspace; costly, startup-only."""
+        raise NotImplementedError
+
+    @async_method
+    def commit_request(
+        self,
+        workspace_id: str,
+        device_id: str,
+        objects_changed: List,
+        request_id: str = "",
+    ) -> None:
+        """Propose a list of metadata changes (Algorithm 1); fire-and-forget."""
+        raise NotImplementedError
+
+    @sync_method(retry=5, timeout=1.5)
+    def create_workspace(self, workspace_id: str, owner: str, name: str = ""):
+        """Register a new workspace owned by *owner*; returns it."""
+        raise NotImplementedError
+
+    @sync_method(retry=5, timeout=1.5)
+    def share_workspace(self, workspace_id: str, user_id: str) -> bool:
+        """Grant *user_id* access to the workspace (the sharing service)."""
+        raise NotImplementedError
+
+    @sync_method(retry=5, timeout=1.5)
+    def register_device(self, user_id: str, device_id: str, name: str = "") -> bool:
+        """Record the calling device; invoked once at client startup."""
+        raise NotImplementedError
+
+
+@remote_interface
+class RemoteWorkspaceApi(Remote):
+    """Server-to-clients push channel (Fig 6, lower interface)."""
+
+    @multi_method
+    @async_method
+    def notify_commit(self, notification) -> None:
+        """Pushed to every device bound to the workspace after a commit."""
+        raise NotImplementedError

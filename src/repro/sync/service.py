@@ -1,0 +1,174 @@
+"""The SyncService: server-side commit processing (§4.2, Algorithm 1).
+
+The service is *stateless* — every piece of durable state lives in the
+Metadata back-end — so any number of instances can consume the shared
+request queue, which is what makes the pool elastic.  Consistency comes
+from the back-end's ACID version check: the first commitRequest processed
+for a given version wins, the second aborts and is reported back as a
+conflict with the winning metadata piggybacked (first-writer-wins, no
+rollbacks).
+"""
+
+from __future__ import annotations
+
+import logging
+import threading
+import time
+import uuid
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
+
+from repro.errors import TransactionAborted, UnknownWorkspace
+from repro.objectmq.broker import Broker
+
+if TYPE_CHECKING:  # avoid a circular import: metadata.base imports sync.models
+    from repro.metadata.base import MetadataBackend
+from repro.objectmq.introspection import HasObjectInfo
+from repro.sync.interface import RemoteWorkspaceApi, workspace_oid
+from repro.sync.models import (
+    STATUS_NEW,
+    CommitNotification,
+    CommitResult,
+    ItemMetadata,
+    Workspace,
+)
+
+logger = logging.getLogger(__name__)
+
+
+class SyncService(HasObjectInfo):
+    """One SyncService instance (bind many of these under one oid).
+
+    Args:
+        metadata: The Metadata back-end (shared by all instances).
+        broker: ObjectMQ broker used to push ``notifyCommit`` fanouts.
+        service_delay: Optional callable returning seconds of artificial
+            processing time per commit — used by elasticity experiments to
+            impose the paper's measured 50 ms mean service time.
+    """
+
+    def __init__(
+        self,
+        metadata: "MetadataBackend",
+        broker: Broker,
+        service_delay: Optional[Callable[[], float]] = None,
+    ):
+        self.metadata = metadata
+        self.broker = broker
+        self.service_delay = service_delay
+        self._lock = threading.Lock()
+        self._workspace_proxies: Dict[str, object] = {}
+        self.commit_count = 0
+        self.conflict_count = 0
+
+    # -- SyncServiceApi implementation --------------------------------------------
+
+    def get_workspaces(self, user_id: str) -> List[Workspace]:
+        return self.metadata.workspaces_for(user_id)
+
+    def get_changes(self, workspace_id: str) -> List[ItemMetadata]:
+        return self.metadata.get_workspace_state(workspace_id)
+
+    def commit_request(
+        self,
+        workspace_id: str,
+        device_id: str,
+        objects_changed: List[ItemMetadata],
+        request_id: str = "",
+    ) -> None:
+        """Algorithm 1 of the paper, one list of proposed changes."""
+        if self.service_delay is not None:
+            delay = self.service_delay()
+            if delay > 0:
+                time.sleep(delay)
+        if not self.metadata.workspace_exists(workspace_id):
+            raise UnknownWorkspace(f"workspace {workspace_id!r} is not registered")
+
+        results: List[CommitResult] = []
+        for new_object in objects_changed:
+            results.append(self._commit_one(new_object))
+
+        with self._lock:
+            self.commit_count += 1
+            self.conflict_count += sum(1 for r in results if not r.confirmed)
+
+        notification = CommitNotification(
+            workspace_id=workspace_id,
+            source_device=device_id,
+            results=results,
+            committed_at=time.time(),
+            request_id=request_id or uuid.uuid4().hex,
+        )
+        self._workspace(workspace_id).notify_commit(notification)
+
+    def create_workspace(
+        self, workspace_id: str, owner: str, name: str = ""
+    ) -> Workspace:
+        """Register a new workspace; idempotent for the same id/owner."""
+        workspace = Workspace(workspace_id=workspace_id, owner=owner, name=name)
+        self.metadata.create_workspace(workspace)
+        return workspace
+
+    def share_workspace(self, workspace_id: str, user_id: str) -> bool:
+        """The sharing service: grant *user_id* access to the workspace.
+
+        After the grant the user's devices can ``get_changes`` on the
+        workspace and bind to its notification fanout like any owner
+        device.
+        """
+        self.metadata.grant_access(workspace_id, user_id)
+        return True
+
+    def register_device(self, user_id: str, device_id: str, name: str = "") -> bool:
+        """Record a device in the user's device registry (idempotent)."""
+        self.metadata.register_device(user_id, device_id, name)
+        return True
+
+    # -- internals -------------------------------------------------------------------
+
+    def _commit_one(self, new_object: ItemMetadata) -> CommitResult:
+        server_object = self.metadata.get_current(new_object.item_id)
+        try:
+            if server_object is None:
+                # First version of a new object.
+                self.metadata.store_new_object(new_object)
+                return CommitResult(metadata=new_object, confirmed=True)
+            if server_object.version + 1 == new_object.version:
+                # No conflict: commit the new version.
+                self.metadata.store_new_version(new_object)
+                return CommitResult(metadata=new_object, confirmed=True)
+        except TransactionAborted:
+            # A concurrent instance won the race between our read and our
+            # write; fall through to the conflict path with a fresh read.
+            server_object = self.metadata.get_current(new_object.item_id)
+        # Conflict: current server metadata is piggybacked so the losing
+        # client can reconstruct the winning version.
+        logger.debug(
+            "conflict on %s: proposed v%d, current v%s",
+            new_object.item_id,
+            new_object.version,
+            getattr(server_object, "version", None),
+        )
+        return CommitResult(
+            metadata=new_object, confirmed=False, current=server_object
+        )
+
+    def _workspace(self, workspace_id: str):
+        with self._lock:
+            proxy = self._workspace_proxies.get(workspace_id)
+            if proxy is None:
+                proxy = self.broker.lookup(workspace_oid(workspace_id), RemoteWorkspaceApi)
+                self._workspace_proxies[workspace_id] = proxy
+            return proxy
+
+
+def sync_service_factory(
+    metadata: "MetadataBackend",
+    broker: Broker,
+    service_delay: Optional[Callable[[], float]] = None,
+) -> Callable[[], SyncService]:
+    """Factory suitable for RemoteBroker.register_factory (elastic spawn)."""
+
+    def build() -> SyncService:
+        return SyncService(metadata, broker, service_delay=service_delay)
+
+    return build

@@ -1,0 +1,88 @@
+"""File-modification patterns (§5.2.1).
+
+"We followed the same approach as in [23], which currently supports 3
+modification types: B — the file is modified in the beginning by
+prepending some bytes; E — the file is modified at the end; and M — the
+file is modified somewhere in the middle. ... the probability for a B
+change was 38%; for an E change 8%, and for an M change 3%. The rest of
+the probability mass was granted to combinations of these changes."
+
+The remaining 51% is split evenly over the three pairwise combinations
+(BE, BM, EM — 17% each).  Modifications are intentionally tiny: the
+paper's 72 UPDATEs changed only ≈14 KB in total (≈200 bytes each), which
+is precisely what makes fixed-size chunking look so bad on UPDATE
+traffic (one 512 KB chunk re-uploaded per ~200-byte edit).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Tuple
+
+PATTERN_B = "B"
+PATTERN_E = "E"
+PATTERN_M = "M"
+PATTERN_BE = "BE"
+PATTERN_BM = "BM"
+PATTERN_EM = "EM"
+
+#: Homes-dataset change-pattern distribution (§5.2.1).
+HOMES_PATTERN_PROBABILITIES = {
+    PATTERN_B: 0.38,
+    PATTERN_E: 0.08,
+    PATTERN_M: 0.03,
+    PATTERN_BE: 0.17,
+    PATTERN_BM: 0.17,
+    PATTERN_EM: 0.17,
+}
+
+#: Only files below this size receive modifications (paper: "we only
+#: applied these probabilities in files smaller than 4 MB").
+MODIFICATION_SIZE_LIMIT = 4 * 1024 * 1024
+
+#: Edit sizes calibrated to the paper's ≈14 KB over 72 updates.
+MIN_EDIT_BYTES = 64
+MAX_EDIT_BYTES = 384
+
+
+class ModificationEngine:
+    """Samples change patterns and applies them to file contents."""
+
+    def __init__(self, rng: Optional[random.Random] = None):
+        self._rng = rng if rng is not None else random.Random(91)
+
+    def sample_pattern(self) -> str:
+        roll = self._rng.random()
+        cumulative = 0.0
+        for pattern, probability in HOMES_PATTERN_PROBABILITIES.items():
+            cumulative += probability
+            if roll < cumulative:
+                return pattern
+        return PATTERN_EM
+
+    def _edit_bytes(self) -> bytes:
+        size = self._rng.randint(MIN_EDIT_BYTES, MAX_EDIT_BYTES)
+        return bytes(self._rng.getrandbits(8) for _ in range(size))
+
+    def apply(self, content: bytes, pattern: Optional[str] = None) -> Tuple[bytes, str]:
+        """Apply a (sampled) pattern; returns (new_content, pattern)."""
+        if pattern is None:
+            pattern = self.sample_pattern()
+        new_content = content
+        if PATTERN_B in pattern:
+            new_content = self._edit_bytes() + new_content
+        if PATTERN_E in pattern:
+            new_content = new_content + self._edit_bytes()
+        if PATTERN_M in pattern:
+            if len(new_content) > 1:
+                position = self._rng.randint(1, len(new_content) - 1)
+            else:
+                position = 0
+            new_content = (
+                new_content[:position] + self._edit_bytes() + new_content[position:]
+            )
+        return new_content, pattern
+
+    @staticmethod
+    def eligible(size: int) -> bool:
+        return size < MODIFICATION_SIZE_LIMIT

@@ -1,0 +1,125 @@
+"""Tests for the provider profiles and simulated clients."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import (
+    COMMERCIAL_PROFILES,
+    DROPBOX,
+    ONEDRIVE,
+    ProfileClient,
+    TABLE1_CLIENT_VERSIONS,
+)
+from repro.workload import Trace, TraceOp, TraceReplayer
+from repro.workload.trace import OP_ADD, OP_REMOVE, OP_UPDATE
+
+
+def small_trace():
+    ops = [
+        TraceOp(op=OP_ADD, path="a", snapshot=0, size=10_000),
+        TraceOp(op=OP_ADD, path="b", snapshot=0, size=20_000),
+        TraceOp(op=OP_UPDATE, path="a", snapshot=1, size=10_000, pattern="B"),
+        TraceOp(op=OP_REMOVE, path="b", snapshot=2),
+    ]
+    return Trace(ops=ops, seed=77)
+
+
+def test_table1_versions_match_paper():
+    assert TABLE1_CLIENT_VERSIONS["StackSync"] == "1.6.4"
+    assert TABLE1_CLIENT_VERSIONS["Dropbox"] == "2.6.33"
+    assert TABLE1_CLIENT_VERSIONS["Microsoft OneDrive"] == "17.0.4035.0328"
+    assert TABLE1_CLIENT_VERSIONS["Amazon Cloud Drive"] == "2.4.2013.3290"
+    assert TABLE1_CLIENT_VERSIONS["Google Drive"] == "1.15.6430.6825"
+    assert TABLE1_CLIENT_VERSIONS["Box"] == "4.0.4925"
+
+
+def test_five_commercial_profiles():
+    assert len(COMMERCIAL_PROFILES) == 5
+    assert "Dropbox" in COMMERCIAL_PROFILES
+
+
+def test_replay_accounts_per_action():
+    client = ProfileClient(ONEDRIVE)
+    report = client.replay(small_trace())
+    assert report.operations == 4
+    assert set(report.by_action_control) == {OP_ADD, OP_UPDATE, OP_REMOVE}
+    assert report.by_action_storage[OP_REMOVE] == 0
+    assert report.by_action_storage[OP_ADD] > 30_000  # both files + inflation
+
+
+def test_remove_costs_control_only():
+    client = ProfileClient(ONEDRIVE)
+    report = client.replay(small_trace())
+    assert report.by_action_control[OP_REMOVE] > 0
+
+
+def test_dropbox_update_uses_delta():
+    """Delta encoding makes Dropbox's UPDATE storage traffic tiny
+    relative to a full re-upload provider (Fig 7d shape)."""
+    trace = small_trace()
+    dropbox = ProfileClient(DROPBOX).replay(trace, TraceReplayer(trace, compressible_fraction=0.0))
+    onedrive = ProfileClient(ONEDRIVE).replay(trace, TraceReplayer(trace, compressible_fraction=0.0))
+    assert dropbox.by_action_storage[OP_UPDATE] < onedrive.by_action_storage[OP_UPDATE] / 2
+
+
+def test_dropbox_control_heavier_than_others():
+    trace = small_trace()
+    dropbox = ProfileClient(DROPBOX).replay(trace)
+    onedrive = ProfileClient(ONEDRIVE).replay(trace)
+    assert dropbox.control_bytes > onedrive.control_bytes
+
+
+def test_bundling_reduces_dropbox_control():
+    """Table 2 shape: control shrinks as batch size grows."""
+    trace = Trace(
+        ops=[TraceOp(op=OP_ADD, path=f"f{i}", snapshot=0, size=1000) for i in range(40)],
+        seed=5,
+    )
+    controls = {}
+    for batch in (1, 5, 10, 20, 40):
+        report = ProfileClient(DROPBOX, batch_size=batch).replay(trace)
+        controls[batch] = report.control_bytes
+    assert controls[5] > controls[10] > controls[20] > controls[40]
+    assert controls[1] > controls[5]
+
+
+def test_non_bundling_provider_ignores_batch_size():
+    trace = small_trace()
+    a = ProfileClient(ONEDRIVE, batch_size=1).replay(trace)
+    b = ProfileClient(ONEDRIVE, batch_size=20).replay(trace)
+    assert a.control_bytes == b.control_bytes
+
+
+def test_dedup_skips_identical_content():
+    trace = Trace(
+        ops=[
+            TraceOp(op=OP_ADD, path="x", snapshot=0, size=5000),
+            TraceOp(op=OP_ADD, path="y", snapshot=0, size=5000),
+        ],
+        seed=5,
+    )
+
+    class FixedReplayer(TraceReplayer):
+        def materialize(self, op):
+            content = b"\x42" * op.size  # identical content for both files
+            self.content.set(op.path, content)
+            return content
+
+    report = ProfileClient(DROPBOX).replay(trace, FixedReplayer(trace))
+    # Second file dedups: storage well below 2x inflated payload.
+    assert report.storage_bytes < 5000 * DROPBOX.storage_inflation + 3000
+
+
+def test_overhead_ratio():
+    trace = small_trace()
+    report = ProfileClient(ONEDRIVE).replay(trace)
+    assert report.overhead_ratio(trace.add_volume) == pytest.approx(
+        report.total_bytes / trace.add_volume
+    )
+    assert report.overhead_ratio(0) == 0.0
+
+
+def test_batch_size_validation():
+    with pytest.raises(ValueError):
+        ProfileClient(DROPBOX, batch_size=0)

@@ -1,0 +1,84 @@
+"""Tests for the client's local database (records, dedup index, cache)."""
+
+from __future__ import annotations
+
+from repro.client import LocalDatabase, LocalFileRecord
+
+
+def record(item_id="ws:a.txt", path="a.txt", version=1):
+    return LocalFileRecord(item_id=item_id, path=path, version=version)
+
+
+def test_upsert_and_get():
+    db = LocalDatabase()
+    db.upsert(record())
+    assert db.get("ws:a.txt").path == "a.txt"
+    assert db.get_by_path("a.txt").item_id == "ws:a.txt"
+    assert db.get("missing") is None
+    assert db.get_by_path("missing") is None
+
+
+def test_upsert_replaces():
+    db = LocalDatabase()
+    db.upsert(record(version=1))
+    db.upsert(record(version=2))
+    assert db.get("ws:a.txt").version == 2
+    assert len(db.list_records()) == 1
+
+
+def test_remove_clears_both_indexes():
+    db = LocalDatabase()
+    db.upsert(record())
+    db.remove("ws:a.txt")
+    assert db.get("ws:a.txt") is None
+    assert db.get_by_path("a.txt") is None
+
+
+def test_remove_does_not_clobber_reused_path():
+    db = LocalDatabase()
+    db.upsert(record(item_id="old", path="a.txt"))
+    db.upsert(record(item_id="new", path="a.txt"))
+    db.remove("old")
+    assert db.get_by_path("a.txt").item_id == "new"
+
+
+def test_dedup_index():
+    db = LocalDatabase()
+    assert not db.knows_fingerprint("f1")
+    db.remember_fingerprints(["f1", "f2"])
+    assert db.knows_fingerprint("f1")
+    assert db.fingerprint_count() == 2
+
+
+def test_chunk_cache_also_feeds_dedup():
+    db = LocalDatabase()
+    db.cache_chunk("f1", b"payload")
+    assert db.cached_chunk("f1") == b"payload"
+    assert db.knows_fingerprint("f1")
+    assert db.cached_chunk("ghost") is None
+
+
+def test_cache_eviction():
+    db = LocalDatabase()
+    db.cache_chunk("keep", b"k")
+    db.cache_chunk("drop", b"d")
+    assert db.evict_chunks(keep={"keep"}) == 1
+    assert db.cached_chunk("keep") == b"k"
+    assert db.cached_chunk("drop") is None
+    # Dedup memory survives eviction (the user still *has* the chunk
+    # server-side; only the local payload copy is gone).
+    assert db.knows_fingerprint("drop")
+
+
+def test_cache_size():
+    db = LocalDatabase()
+    db.cache_chunk("a", b"123")
+    db.cache_chunk("b", b"4567")
+    assert db.cache_size_bytes() == 7
+
+
+def test_list_records_sorted():
+    db = LocalDatabase()
+    db.upsert(record(item_id="z", path="z.txt"))
+    db.upsert(record(item_id="a", path="a.txt"))
+    assert [r.item_id for r in db.list_records()] == ["a", "z"]

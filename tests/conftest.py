@@ -1,0 +1,93 @@
+"""Shared fixtures: brokers, metadata, storage, and full testbeds."""
+
+from __future__ import annotations
+
+import uuid
+
+import pytest
+
+from repro.metadata import MemoryMetadataBackend, SqliteMetadataBackend
+from repro.mom import MessageBroker
+from repro.objectmq import Broker
+from repro.storage import SwiftLikeStore
+from repro.sync import SYNC_SERVICE_OID, SyncService, Workspace
+from repro.client import StackSyncClient
+
+
+@pytest.fixture
+def mom():
+    broker = MessageBroker()
+    yield broker
+    broker.close()
+
+
+@pytest.fixture
+def omq(mom):
+    broker = Broker(mom)
+    yield broker
+    broker.close()
+
+
+@pytest.fixture(params=["memory", "sqlite"])
+def metadata_backend(request):
+    if request.param == "memory":
+        backend = MemoryMetadataBackend()
+    else:
+        backend = SqliteMetadataBackend(":memory:")
+    yield backend
+    backend.close()
+
+
+@pytest.fixture
+def storage():
+    return SwiftLikeStore(node_count=4, replicas=2)
+
+
+class SyncTestbed:
+    """A full single-process StackSync deployment for integration tests."""
+
+    def __init__(self, users=("alice",), instances=1):
+        self.mom = MessageBroker()
+        self.metadata = MemoryMetadataBackend()
+        self.storage = SwiftLikeStore(node_count=4, replicas=2)
+        self.server_broker = Broker(self.mom)
+        self.service = SyncService(self.metadata, self.server_broker)
+        self.skeletons = [
+            self.server_broker.bind(SYNC_SERVICE_OID, self.service)
+            for _ in range(instances)
+        ]
+        self.workspaces = {}
+        for user in users:
+            self.metadata.create_user(user)
+            workspace = Workspace(
+                workspace_id=f"ws-{user}-{uuid.uuid4().hex[:6]}", owner=user
+            )
+            self.metadata.create_workspace(workspace)
+            self.workspaces[user] = workspace
+        self.clients = []
+
+    def client(self, user="alice", device_id=None, **kwargs) -> StackSyncClient:
+        client = StackSyncClient(
+            user,
+            self.workspaces[user],
+            self.mom,
+            self.storage,
+            device_id=device_id,
+            **kwargs,
+        )
+        client.start()
+        self.clients.append(client)
+        return client
+
+    def close(self):
+        for client in self.clients:
+            client.stop()
+        self.server_broker.close()
+        self.mom.close()
+
+
+@pytest.fixture
+def testbed():
+    bed = SyncTestbed()
+    yield bed
+    bed.close()

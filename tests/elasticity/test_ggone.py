@@ -1,0 +1,120 @@
+"""Tests for the G/G/1 capacity model (equations 1 and 2)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.elasticity import GG1CapacityModel, PAPER_PARAMETERS, SlaParameters
+from repro.errors import ProvisioningError
+
+
+def test_paper_parameters_match_table3():
+    assert PAPER_PARAMETERS.d == pytest.approx(0.450)
+    assert PAPER_PARAMETERS.s == pytest.approx(0.050)
+    assert PAPER_PARAMETERS.sigma_b2 == pytest.approx(200e-6)
+    assert PAPER_PARAMETERS.tau_1 == pytest.approx(0.20)
+    assert PAPER_PARAMETERS.tau_2 == pytest.approx(0.20)
+
+
+def test_sla_validation():
+    with pytest.raises(ProvisioningError):
+        SlaParameters(d=0.04, s=0.05)
+    with pytest.raises(ProvisioningError):
+        SlaParameters(s=0.0)
+
+
+def test_per_server_rate_below_service_rate():
+    model = GG1CapacityModel()
+    delta = model.per_server_rate()
+    # One server can never exceed 1/s = 20 req/s and must keep headroom
+    # for queueing (Kingman term).
+    assert 0 < delta < 1.0 / PAPER_PARAMETERS.s
+    assert delta == pytest.approx(18.5, abs=1.0)
+
+
+def test_deterministic_arrivals_allow_higher_rate():
+    model = GG1CapacityModel()
+    assert model.per_server_rate(ca2=0.0) > model.per_server_rate(ca2=1.0)
+
+
+def test_burstier_arrivals_reduce_rate():
+    model = GG1CapacityModel()
+    assert model.per_server_rate(ca2=4.0) < model.per_server_rate(ca2=1.0)
+
+
+def test_instances_for_paper_peak():
+    """The day-8 peak (8,514 req/min = 141.9 req/s) needs a small pool."""
+    model = GG1CapacityModel()
+    eta = model.instances_for(8514.0 / 60.0)
+    assert 6 <= eta <= 10
+
+
+def test_instances_zero_for_no_load():
+    assert GG1CapacityModel().instances_for(0.0) == 0
+
+
+def test_instances_at_least_one_for_any_load():
+    assert GG1CapacityModel().instances_for(0.001) == 1
+
+
+def test_monitored_service_time_overrides():
+    model = GG1CapacityModel()
+    slow = model.instances_for(100.0, s=0.1)
+    fast = model.instances_for(100.0, s=0.02)
+    assert slow > fast
+
+
+def test_service_time_exceeding_sla_degrades_gracefully():
+    model = GG1CapacityModel()
+    # s > d: fall back to raw service rate rather than exploding.
+    assert model.per_server_rate(s=0.5) == pytest.approx(2.0)
+
+
+def test_ca2_from_measurements():
+    model = GG1CapacityModel()
+    # Poisson stream at rate 10: sigma_a2 = 1/100.
+    assert model.ca2_from(0.01, 10.0) == pytest.approx(1.0)
+    assert model.ca2_from(0.0, 10.0) == 1.0  # unobserved -> Poisson
+    assert model.ca2_from(0.04, 10.0) == pytest.approx(4.0)
+
+
+@settings(max_examples=100, deadline=None)
+@given(lam=st.floats(min_value=0.01, max_value=10_000.0))
+def test_property_instances_monotone_in_lambda(lam):
+    model = GG1CapacityModel()
+    assert model.instances_for(lam) <= model.instances_for(lam * 2)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    lam=st.floats(min_value=0.1, max_value=1000.0),
+    ca2=st.floats(min_value=0.0, max_value=10.0),
+)
+def test_property_eta_covers_lambda(lam, ca2):
+    """η servers at δ each must cover λ: η·δ ≥ λ."""
+    model = GG1CapacityModel()
+    delta = model.per_server_rate(ca2=ca2)
+    eta = model.instances_for(lam, ca2=ca2)
+    assert eta * delta >= lam * 0.999
+
+
+@settings(max_examples=50, deadline=None)
+@given(ca2=st.floats(min_value=0.0, max_value=10.0))
+def test_property_fixed_point_satisfies_equation_one(ca2):
+    """In the feasible region δ satisfies eq (1) exactly; beyond it the
+    vertex (best achievable rate) is returned."""
+    params = PAPER_PARAMETERS
+    model = GG1CapacityModel(params)
+    delta = model.per_server_rate(ca2=ca2)
+    k = 2.0 * (params.d - params.s)
+    a = params.s * k + params.sigma_b2
+    if k * k - 4.0 * a * ca2 >= 0:
+        sigma_a2 = ca2 / (delta * delta)
+        rhs = 1.0 / (
+            params.s + (sigma_a2 + params.sigma_b2) / (2.0 * (params.d - params.s))
+        )
+        assert delta == pytest.approx(rhs, rel=1e-6)
+    else:
+        assert delta == pytest.approx(k / (2.0 * a), rel=1e-9)

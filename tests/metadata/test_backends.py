@@ -1,0 +1,252 @@
+"""Back-end contract tests, run against both metadata engines.
+
+The ``metadata_backend`` fixture (conftest) parametrizes over the
+in-memory and SQLite implementations, so every test here pins down the
+shared ACID contract Algorithm 1 relies on.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.errors import MetadataError, TransactionAborted, UnknownWorkspace
+from repro.sync.models import (
+    STATUS_CHANGED,
+    STATUS_DELETED,
+    ItemMetadata,
+    Workspace,
+)
+
+
+def setup_workspace(backend, user="alice", workspace_id="ws1"):
+    backend.create_user(user)
+    workspace = Workspace(workspace_id=workspace_id, owner=user)
+    backend.create_workspace(workspace)
+    return workspace
+
+
+def item(version=1, item_id="ws1:a.txt", status="NEW", chunks=None, ws="ws1"):
+    return ItemMetadata(
+        item_id=item_id,
+        workspace_id=ws,
+        version=version,
+        filename=item_id.split(":", 1)[1],
+        status=status,
+        size=10,
+        checksum="c",
+        chunks=chunks if chunks is not None else ["f1"],
+        modified_at=1.0,
+        device_id="dev",
+    )
+
+
+def test_user_and_workspace_lifecycle(metadata_backend):
+    workspace = setup_workspace(metadata_backend)
+    assert metadata_backend.workspace_exists("ws1")
+    assert metadata_backend.workspaces_for("alice") == [workspace]
+    assert metadata_backend.workspaces_for("nobody") == []
+
+
+def test_create_workspace_requires_owner(metadata_backend):
+    with pytest.raises(MetadataError):
+        metadata_backend.create_workspace(Workspace(workspace_id="w", owner="ghost"))
+
+
+def test_grant_access_shares_workspace(metadata_backend):
+    workspace = setup_workspace(metadata_backend)
+    metadata_backend.create_user("bob")
+    metadata_backend.grant_access("ws1", "bob")
+    assert metadata_backend.workspaces_for("bob") == [workspace]
+
+
+def test_grant_access_validates_both_sides(metadata_backend):
+    setup_workspace(metadata_backend)
+    with pytest.raises(MetadataError):
+        metadata_backend.grant_access("ws1", "ghost")
+    metadata_backend.create_user("bob")
+    with pytest.raises(UnknownWorkspace):
+        metadata_backend.grant_access("missing", "bob")
+
+
+def test_store_and_get_current(metadata_backend):
+    setup_workspace(metadata_backend)
+    metadata_backend.store_new_object(item(version=1))
+    current = metadata_backend.get_current("ws1:a.txt")
+    assert current is not None
+    assert current.version == 1
+    assert current.chunks == ["f1"]
+
+
+def test_get_current_unknown_item(metadata_backend):
+    assert metadata_backend.get_current("nope") is None
+
+
+def test_store_new_object_rejects_duplicates(metadata_backend):
+    setup_workspace(metadata_backend)
+    metadata_backend.store_new_object(item(version=1))
+    with pytest.raises(TransactionAborted):
+        metadata_backend.store_new_object(item(version=1))
+
+
+def test_store_new_object_requires_version_one(metadata_backend):
+    setup_workspace(metadata_backend)
+    with pytest.raises(TransactionAborted):
+        metadata_backend.store_new_object(item(version=2))
+
+
+def test_store_new_object_requires_workspace(metadata_backend):
+    with pytest.raises(UnknownWorkspace):
+        metadata_backend.store_new_object(item(version=1))
+
+
+def test_version_chain_must_be_contiguous(metadata_backend):
+    setup_workspace(metadata_backend)
+    metadata_backend.store_new_object(item(version=1))
+    metadata_backend.store_new_version(item(version=2, status=STATUS_CHANGED))
+    with pytest.raises(TransactionAborted):
+        metadata_backend.store_new_version(item(version=2, status=STATUS_CHANGED))
+    with pytest.raises(TransactionAborted):
+        metadata_backend.store_new_version(item(version=5, status=STATUS_CHANGED))
+    assert metadata_backend.get_current("ws1:a.txt").version == 2
+
+
+def test_store_new_version_requires_existing_item(metadata_backend):
+    setup_workspace(metadata_backend)
+    with pytest.raises(TransactionAborted):
+        metadata_backend.store_new_version(item(version=2, status=STATUS_CHANGED))
+
+
+def test_workspace_state_excludes_deleted(metadata_backend):
+    setup_workspace(metadata_backend)
+    metadata_backend.store_new_object(item(version=1, item_id="ws1:a.txt"))
+    metadata_backend.store_new_object(item(version=1, item_id="ws1:b.txt"))
+    metadata_backend.store_new_version(
+        item(version=2, item_id="ws1:b.txt", status=STATUS_DELETED)
+    )
+    state = metadata_backend.get_workspace_state("ws1")
+    assert [m.item_id for m in state] == ["ws1:a.txt"]
+
+
+def test_workspace_state_latest_version_only(metadata_backend):
+    setup_workspace(metadata_backend)
+    metadata_backend.store_new_object(item(version=1))
+    metadata_backend.store_new_version(
+        item(version=2, status=STATUS_CHANGED, chunks=["f2"])
+    )
+    state = metadata_backend.get_workspace_state("ws1")
+    assert len(state) == 1
+    assert state[0].version == 2
+    assert state[0].chunks == ["f2"]
+
+
+def test_item_history_ordered(metadata_backend):
+    setup_workspace(metadata_backend)
+    metadata_backend.store_new_object(item(version=1))
+    metadata_backend.store_new_version(item(version=2, status=STATUS_CHANGED))
+    metadata_backend.store_new_version(item(version=3, status=STATUS_CHANGED))
+    history = metadata_backend.item_history("ws1:a.txt")
+    assert [m.version for m in history] == [1, 2, 3]
+
+
+def test_counts(metadata_backend):
+    setup_workspace(metadata_backend)
+    metadata_backend.store_new_object(item(version=1))
+    metadata_backend.store_new_version(item(version=2, status=STATUS_CHANGED))
+    counts = metadata_backend.counts()
+    assert counts["users"] == 1
+    assert counts["workspaces"] == 1
+    assert counts["items"] == 1
+    assert counts["versions"] == 2
+
+
+def test_device_registry(metadata_backend):
+    metadata_backend.create_user("alice")
+    metadata_backend.register_device("alice", "laptop", name="MacBook")
+    metadata_backend.register_device("alice", "phone")
+    metadata_backend.register_device("alice", "laptop")  # idempotent
+    assert metadata_backend.devices_for("alice") == ["laptop", "phone"]
+    assert metadata_backend.devices_for("nobody") == []
+
+
+def test_device_registry_requires_user(metadata_backend):
+    with pytest.raises(MetadataError):
+        metadata_backend.register_device("ghost", "dev")
+
+
+def test_client_startup_registers_device(testbed):
+    testbed.client(device_id="registered-dev")
+    assert "registered-dev" in testbed.metadata.devices_for("alice")
+
+
+def test_concurrent_commits_exactly_one_winner(metadata_backend):
+    """The first-writer-wins race at the heart of conflict handling."""
+    setup_workspace(metadata_backend)
+    metadata_backend.store_new_object(item(version=1))
+
+    outcomes = []
+    barrier = threading.Barrier(2)
+
+    def racer(device):
+        proposal = ItemMetadata(
+            item_id="ws1:a.txt",
+            workspace_id="ws1",
+            version=2,
+            filename="a.txt",
+            status=STATUS_CHANGED,
+            device_id=device,
+        )
+        barrier.wait()
+        try:
+            metadata_backend.store_new_version(proposal)
+            outcomes.append((device, "ok"))
+        except TransactionAborted:
+            outcomes.append((device, "conflict"))
+
+    threads = [threading.Thread(target=racer, args=(d,)) for d in ("d1", "d2")]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    results = sorted(o[1] for o in outcomes)
+    assert results == ["conflict", "ok"]
+    assert metadata_backend.get_current("ws1:a.txt").version == 2
+
+
+def test_concurrent_new_objects_exactly_one_winner(metadata_backend):
+    setup_workspace(metadata_backend)
+    outcomes = []
+    barrier = threading.Barrier(4)
+
+    def racer(i):
+        barrier.wait()
+        try:
+            metadata_backend.store_new_object(item(version=1))
+            outcomes.append("ok")
+        except TransactionAborted:
+            outcomes.append("conflict")
+
+    threads = [threading.Thread(target=racer, args=(i,)) for i in range(4)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert outcomes.count("ok") == 1
+    assert outcomes.count("conflict") == 3
+
+
+def test_sqlite_persists_to_disk(tmp_path):
+    from repro.metadata import SqliteMetadataBackend
+
+    path = str(tmp_path / "meta.db")
+    backend = SqliteMetadataBackend(path)
+    setup_workspace(backend)
+    backend.store_new_object(item(version=1))
+    backend.close()
+
+    reopened = SqliteMetadataBackend(path)
+    assert reopened.get_current("ws1:a.txt").version == 1
+    assert reopened.workspace_exists("ws1")
+    reopened.close()

@@ -1,0 +1,169 @@
+"""Stateful property tests: both metadata engines vs a reference model.
+
+Hypothesis drives random operation sequences against the SQLite engine
+and a trivially-correct in-Python model simultaneously; any divergence in
+results, errors, or final state is a bug in the engine (or in the
+contract).  This is the strongest guarantee we have that the two
+back-ends are interchangeable under ObjectMQ's concurrency patterns.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import settings
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.errors import TransactionAborted
+from repro.metadata import MemoryMetadataBackend, SqliteMetadataBackend
+from repro.sync.models import (
+    STATUS_CHANGED,
+    STATUS_DELETED,
+    ItemMetadata,
+    Workspace,
+)
+
+ITEMS = [f"ws:item{i}" for i in range(4)]
+STATUSES = [STATUS_CHANGED, STATUS_DELETED]
+
+
+def proposal(item_id: str, version: int, status: str, marker: int) -> ItemMetadata:
+    return ItemMetadata(
+        item_id=item_id,
+        workspace_id="ws",
+        version=version,
+        filename=item_id.split(":")[-1],
+        status="NEW" if version == 1 else status,
+        size=marker,
+        checksum=str(marker),
+        chunks=[f"fp-{marker}"],
+        device_id="d",
+    )
+
+
+class MetadataMachine(RuleBasedStateMachine):
+    """Engine under test (SQLite) vs reference model (dict of lists)."""
+
+    @initialize()
+    def setup(self):
+        self.engine = SqliteMetadataBackend(":memory:")
+        self.engine.create_user("u")
+        self.engine.create_workspace(Workspace(workspace_id="ws", owner="u"))
+        self.model = {}  # item_id -> list of versions (marker ints)
+        self.marker = 0
+
+    def teardown(self):
+        self.engine.close()
+
+    @rule(item=st.sampled_from(ITEMS))
+    def store_new_object(self, item):
+        self.marker += 1
+        meta = proposal(item, 1, STATUS_CHANGED, self.marker)
+        should_fail = item in self.model
+        try:
+            self.engine.store_new_object(meta)
+            assert not should_fail
+            self.model[item] = [self.marker]
+        except TransactionAborted:
+            assert should_fail
+
+    @rule(
+        item=st.sampled_from(ITEMS),
+        version_offset=st.integers(min_value=0, max_value=2),
+        status=st.sampled_from(STATUSES),
+    )
+    def store_new_version(self, item, version_offset, status):
+        self.marker += 1
+        current = len(self.model.get(item, []))
+        version = current + version_offset  # only offset 1 is legal
+        if version < 1:
+            return
+        meta = proposal(item, version, status, self.marker)
+        should_succeed = current > 0 and version == current + 1
+        try:
+            self.engine.store_new_version(meta)
+            assert should_succeed
+            self.model[item].append(self.marker)
+        except TransactionAborted:
+            assert not should_succeed
+
+    @invariant()
+    def current_versions_match(self):
+        for item in ITEMS:
+            current = self.engine.get_current(item)
+            if item not in self.model:
+                assert current is None
+            else:
+                assert current is not None
+                assert current.version == len(self.model[item])
+                assert current.size == self.model[item][-1]
+
+    @invariant()
+    def histories_match(self):
+        for item, markers in self.model.items():
+            history = self.engine.item_history(item)
+            assert [m.version for m in history] == list(range(1, len(markers) + 1))
+            assert [m.size for m in history] == markers
+
+
+MetadataMachine.TestCase.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None
+)
+TestMetadataStateful = MetadataMachine.TestCase
+
+
+class EngineEquivalenceMachine(RuleBasedStateMachine):
+    """Drive both engines with identical operations; outcomes must match."""
+
+    @initialize()
+    def setup(self):
+        self.engines = [MemoryMetadataBackend(), SqliteMetadataBackend(":memory:")]
+        for engine in self.engines:
+            engine.create_user("u")
+            engine.create_workspace(Workspace(workspace_id="ws", owner="u"))
+        self.marker = 0
+
+    def teardown(self):
+        for engine in self.engines:
+            engine.close()
+
+    def _both(self, operation):
+        outcomes = []
+        for engine in self.engines:
+            try:
+                operation(engine)
+                outcomes.append("ok")
+            except TransactionAborted:
+                outcomes.append("abort")
+        assert outcomes[0] == outcomes[1]
+
+    @rule(item=st.sampled_from(ITEMS))
+    def new_object(self, item):
+        self.marker += 1
+        meta = proposal(item, 1, STATUS_CHANGED, self.marker)
+        self._both(lambda e: e.store_new_object(meta))
+
+    @rule(item=st.sampled_from(ITEMS), version=st.integers(min_value=1, max_value=6))
+    def new_version(self, item, version):
+        self.marker += 1
+        meta = proposal(item, version, STATUS_CHANGED, self.marker)
+        self._both(lambda e: e.store_new_version(meta))
+
+    @invariant()
+    def states_identical(self):
+        mem, sql = self.engines
+        assert mem.counts() == sql.counts()
+        mem_state = [(m.item_id, m.version, m.size) for m in mem.get_workspace_state("ws")]
+        sql_state = [(m.item_id, m.version, m.size) for m in sql.get_workspace_state("ws")]
+        assert mem_state == sql_state
+
+
+EngineEquivalenceMachine.TestCase.settings = settings(
+    max_examples=25, stateful_step_count=25, deadline=None
+)
+TestEngineEquivalence = EngineEquivalenceMachine.TestCase

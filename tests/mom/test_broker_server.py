@@ -1,0 +1,168 @@
+"""Unit tests for the MessageBroker facade."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.errors import BrokerClosed, DeliveryError, ExchangeNotFound, QueueNotFound
+from repro.mom import Message, MessageBroker, PERSISTENT
+
+
+def wait_for(predicate, timeout=2.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.01)
+    return predicate()
+
+
+def test_default_exchange_routes_and_lazily_declares(mom):
+    routed = mom.publish("", "lazy-queue", Message(b"x"))
+    assert routed == 1
+    assert mom.queue_exists("lazy-queue")
+    assert mom.get("lazy-queue", timeout=0.1).body == b"x"
+
+
+def test_declare_queue_idempotent(mom):
+    q1 = mom.declare_queue("q")
+    q2 = mom.declare_queue("q")
+    assert q1 is q2
+
+
+def test_fanout_copies_to_all_bound_queues(mom):
+    mom.declare_exchange("fan", "fanout")
+    mom.declare_queue("a")
+    mom.declare_queue("b")
+    mom.bind_queue("fan", "a")
+    mom.bind_queue("fan", "b")
+    routed = mom.publish("fan", "ignored", Message(b"multi"))
+    assert routed == 2
+    assert mom.get("a", timeout=0.1).body == b"multi"
+    assert mom.get("b", timeout=0.1).body == b"multi"
+
+
+def test_fanout_copies_are_independent(mom):
+    mom.declare_exchange("fan", "fanout")
+    mom.declare_queue("a")
+    mom.declare_queue("b")
+    mom.bind_queue("fan", "a")
+    mom.bind_queue("fan", "b")
+    mom.publish("fan", "", Message(b"x", headers={"k": 1}))
+    first = mom.get("a", timeout=0.1)
+    second = mom.get("b", timeout=0.1)
+    assert first is not second
+    first.headers["k"] = 99
+    assert second.headers["k"] == 1
+
+
+def test_publish_to_unbound_exchange_raises(mom):
+    mom.declare_exchange("fan", "fanout")
+    with pytest.raises(DeliveryError):
+        mom.publish("fan", "k", Message(b"x"))
+
+
+def test_unknown_exchange_raises(mom):
+    with pytest.raises(ExchangeNotFound):
+        mom.publish("missing", "k", Message(b"x"))
+
+
+def test_unknown_queue_raises(mom):
+    with pytest.raises(QueueNotFound):
+        mom.get("missing")
+
+
+def test_consume_and_ack_flow(mom):
+    mom.declare_queue("work")
+    got = []
+
+    def handler(delivery):
+        got.append(delivery)
+        mom.ack(delivery)
+
+    mom.consume("work", handler, consumer_tag="c1")
+    mom.publish("", "work", Message(b"job"))
+    assert wait_for(lambda: len(got) == 1)
+    stats = mom.queue_stats("work")
+    assert stats["acked"] == 1
+    assert stats["unacked"] == 0
+
+
+def test_cancel_requeues_unacked(mom):
+    mom.declare_queue("work")
+    got = []
+    mom.consume("work", lambda d: got.append(d), consumer_tag="c1")
+    mom.publish("", "work", Message(b"job"))
+    assert wait_for(lambda: len(got) == 1)
+    mom.cancel("work", "c1")
+    message = mom.get("work", timeout=0.2)
+    assert message is not None and message.redelivered
+
+
+def test_delete_queue_removes_bindings(mom):
+    mom.declare_exchange("fan", "fanout")
+    mom.declare_queue("a")
+    mom.bind_queue("fan", "a")
+    mom.delete_queue("a")
+    with pytest.raises(DeliveryError):
+        mom.publish("fan", "", Message(b"x"))
+
+
+def test_restart_recovers_persistent_messages_on_durable_queues(mom):
+    mom.declare_queue("durable", durable=True)
+    mom.declare_queue("transientq")
+    mom.publish("", "durable", Message(b"keep", delivery_mode=PERSISTENT))
+    mom.publish("", "transientq", Message(b"lose", delivery_mode=PERSISTENT))
+    # transient queue is not durable: its message journal is not replayed
+    mom.restart()
+    assert mom.queue_exists("durable")
+    assert not mom.queue_exists("transientq")
+    recovered = mom.get("durable", timeout=0.2)
+    assert recovered is not None and recovered.body == b"keep"
+
+
+def test_restart_does_not_replay_acked_messages(mom):
+    mom.declare_queue("durable", durable=True)
+    got = []
+
+    def handler(delivery):
+        got.append(delivery)
+        mom.ack(delivery)
+
+    mom.consume("durable", handler, consumer_tag="c")
+    mom.publish("", "durable", Message(b"done", delivery_mode=PERSISTENT))
+    assert wait_for(lambda: len(got) == 1)
+    mom.restart()
+    assert mom.get("durable", timeout=0.1) is None
+
+
+def test_closed_broker_rejects_operations():
+    broker = MessageBroker()
+    broker.close()
+    with pytest.raises(BrokerClosed):
+        broker.declare_queue("q")
+    with pytest.raises(BrokerClosed):
+        broker.publish("", "q", Message(b"x"))
+
+
+def test_publish_latency_model_invoked():
+    calls = []
+
+    def latency():
+        calls.append(1)
+        return 0.0
+
+    broker = MessageBroker(publish_latency=latency)
+    broker.publish("", "q", Message(b"x"))
+    broker.close()
+    assert calls
+
+
+def test_stats_accumulate(mom):
+    mom.declare_queue("q")
+    mom.publish("", "q", Message(b"12345"))
+    snapshot = mom.stats.snapshot()
+    assert snapshot["publishes"] == 1
+    assert snapshot["bytes_published"] == 5

@@ -1,0 +1,80 @@
+"""Unit tests for the HA broker cluster: failover without message loss."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import BrokerClosed
+from repro.mom import BrokerCluster, Message, PERSISTENT
+
+
+def test_cluster_quacks_like_a_broker():
+    cluster = BrokerCluster(size=2)
+    cluster.declare_queue("q")
+    cluster.publish("", "q", Message(b"x"))
+    assert cluster.get("q", timeout=0.1).body == b"x"
+    cluster.close()
+
+
+def test_failover_promotes_standby_and_recovers_persistent_messages():
+    cluster = BrokerCluster(size=2)
+    cluster.declare_queue("q", durable=True)
+    cluster.publish("", "q", Message(b"keep", delivery_mode=PERSISTENT))
+    old = cluster.active
+
+    promoted = cluster.fail_primary()
+    assert promoted is not old
+    assert cluster.generation == 1
+    recovered = cluster.get("q", timeout=0.2)
+    assert recovered is not None and recovered.body == b"keep"
+    cluster.close()
+
+
+def test_failover_listener_invoked():
+    cluster = BrokerCluster(size=2)
+    generations = []
+    cluster.on_failover(generations.append)
+    cluster.fail_primary()
+    assert generations == [1]
+    cluster.close()
+
+
+def test_exhausted_cluster_raises():
+    cluster = BrokerCluster(size=1)
+    with pytest.raises(BrokerClosed):
+        cluster.fail_primary()
+    cluster.close()
+
+
+def test_add_standby_extends_failover_chain():
+    cluster = BrokerCluster(size=1)
+    cluster.add_standby()
+    cluster.declare_queue("q", durable=True)
+    cluster.publish("", "q", Message(b"m", delivery_mode=PERSISTENT))
+    cluster.fail_primary()
+    assert cluster.get("q", timeout=0.2).body == b"m"
+    cluster.close()
+
+
+def test_acked_messages_not_replayed_after_failover():
+    cluster = BrokerCluster(size=2)
+    cluster.declare_queue("q", durable=True)
+    cluster.publish("", "q", Message(b"m", delivery_mode=PERSISTENT))
+    # Pull-mode get() auto-acks at the queue level but not in the store;
+    # explicitly ack via consume path instead.
+    import time
+
+    got = []
+
+    def handler(delivery):
+        got.append(delivery)
+        cluster.ack(delivery)
+
+    cluster.consume("q", handler, consumer_tag="c")
+    deadline = time.monotonic() + 2.0
+    while not got and time.monotonic() < deadline:
+        time.sleep(0.01)
+    assert got
+    cluster.fail_primary()
+    assert cluster.get("q", timeout=0.1) is None
+    cluster.close()

@@ -1,0 +1,81 @@
+"""Unit tests for direct / fanout / topic exchanges."""
+
+from __future__ import annotations
+
+from repro.mom.exchange import DirectExchange, FanoutExchange, TopicExchange
+
+
+def test_direct_exact_match_only():
+    exchange = DirectExchange("x")
+    exchange.bind("q1", "alpha")
+    exchange.bind("q2", "beta")
+    assert exchange.route("alpha") == ["q1"]
+    assert exchange.route("beta") == ["q2"]
+    assert exchange.route("gamma") == []
+
+
+def test_direct_multiple_queues_same_key():
+    exchange = DirectExchange("x")
+    exchange.bind("q1", "k")
+    exchange.bind("q2", "k")
+    assert exchange.route("k") == ["q1", "q2"]
+
+
+def test_fanout_ignores_routing_key():
+    exchange = FanoutExchange("x")
+    exchange.bind("q1")
+    exchange.bind("q2", "irrelevant")
+    assert exchange.route("anything") == ["q1", "q2"]
+    assert exchange.route("") == ["q1", "q2"]
+
+
+def test_fanout_empty_routes_nowhere():
+    assert FanoutExchange("x").route("k") == []
+
+
+def test_unbind_removes_queue():
+    exchange = DirectExchange("x")
+    exchange.bind("q1", "k")
+    exchange.unbind("q1", "k")
+    assert exchange.route("k") == []
+
+
+def test_unbind_queue_everywhere():
+    exchange = DirectExchange("x")
+    exchange.bind("q1", "a")
+    exchange.bind("q1", "b")
+    exchange.bind("q2", "a")
+    exchange.unbind_queue_everywhere("q1")
+    assert exchange.route("a") == ["q2"]
+    assert exchange.route("b") == []
+
+
+def test_bound_queues_and_binding_count():
+    exchange = DirectExchange("x")
+    exchange.bind("q1", "a")
+    exchange.bind("q2", "a")
+    exchange.bind("q1", "b")
+    assert exchange.bound_queues() == {"q1", "q2"}
+    assert exchange.binding_count() == 3
+
+
+def test_topic_star_matches_one_word():
+    exchange = TopicExchange("x")
+    exchange.bind("q", "workspace.*.commits")
+    assert exchange.route("workspace.ws1.commits") == ["q"]
+    assert exchange.route("workspace.ws1.extra.commits") == []
+
+
+def test_topic_hash_matches_zero_or_more():
+    exchange = TopicExchange("x")
+    exchange.bind("q", "events.#")
+    assert exchange.route("events.a") == ["q"]
+    assert exchange.route("events.a.b.c") == ["q"]
+    assert exchange.route("other.a") == []
+
+
+def test_topic_literal():
+    exchange = TopicExchange("x")
+    exchange.bind("q", "exact.key")
+    assert exchange.route("exact.key") == ["q"]
+    assert exchange.route("exact.other") == []

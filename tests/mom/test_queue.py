@@ -1,0 +1,233 @@
+"""Unit tests for MessageQueue: dispatch, acks, redelivery, prefetch."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import DuplicateConsumer
+from repro.mom.message import Message
+from repro.mom.queue import MessageQueue
+
+
+def drain_wait(predicate, timeout=2.0, interval=0.01):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return predicate()
+
+
+class Collector:
+    """Test consumer callback collecting deliveries thread-safely."""
+
+    def __init__(self, queue=None, auto_ack_via=None):
+        self.lock = threading.Lock()
+        self.deliveries = []
+        self.queue = queue
+
+    def __call__(self, delivery):
+        with self.lock:
+            self.deliveries.append(delivery)
+        if self.queue is not None:
+            self.queue.ack(delivery.delivery_tag)
+
+    def count(self):
+        with self.lock:
+            return len(self.deliveries)
+
+    def bodies(self):
+        with self.lock:
+            return [d.message.body for d in self.deliveries]
+
+
+def test_pull_mode_get_returns_fifo():
+    queue = MessageQueue("q")
+    queue.put(Message(b"one"))
+    queue.put(Message(b"two"))
+    assert queue.get(timeout=0.1).body == b"one"
+    assert queue.get(timeout=0.1).body == b"two"
+    assert queue.get(timeout=0.05) is None
+
+
+def test_get_blocks_until_publish():
+    queue = MessageQueue("q")
+    results = []
+
+    def reader():
+        results.append(queue.get(timeout=2.0))
+
+    thread = threading.Thread(target=reader)
+    thread.start()
+    time.sleep(0.05)
+    queue.put(Message(b"late"))
+    thread.join(timeout=2.0)
+    assert results and results[0].body == b"late"
+
+
+def test_push_mode_delivers_to_consumer():
+    queue = MessageQueue("q")
+    collector = Collector(queue)
+    queue.add_consumer("c1", collector)
+    queue.put(Message(b"x"))
+    assert drain_wait(lambda: collector.count() == 1)
+
+
+def test_round_robin_between_idle_consumers():
+    queue = MessageQueue("q")
+    c1, c2 = Collector(queue), Collector(queue)
+    queue.add_consumer("c1", c1)
+    queue.add_consumer("c2", c2)
+    for i in range(10):
+        queue.put(Message(bytes([i])))
+    assert drain_wait(lambda: c1.count() + c2.count() == 10)
+    # Work is shared: each idle consumer receives some of the stream.
+    # (Exact proportions depend on ack timing, so only participation is
+    # asserted — AMQP guarantees delivery to *an* idle consumer, not
+    # strict fairness.)
+    assert c1.count() >= 1
+    assert c2.count() >= 1
+
+
+def test_prefetch_one_skips_busy_consumer():
+    queue = MessageQueue("q")
+    release = threading.Event()
+    slow_got = []
+
+    def slow(delivery):
+        slow_got.append(delivery)
+        release.wait(5.0)
+        queue.ack(delivery.delivery_tag)
+
+    fast = Collector(queue)
+    queue.add_consumer("slow", slow, prefetch=1)
+    queue.add_consumer("fast", fast, prefetch=1)
+
+    for i in range(6):
+        queue.put(Message(bytes([i])))
+    # The slow consumer holds exactly one unacked message; everything
+    # else must flow to the idle (fast) consumer.
+    assert drain_wait(lambda: fast.count() == 5)
+    assert len(slow_got) == 1
+    release.set()
+
+
+def test_unacked_requeued_on_cancel_with_redelivered_flag():
+    queue = MessageQueue("q")
+    got = []
+
+    def never_ack(delivery):
+        got.append(delivery)
+
+    queue.add_consumer("c1", never_ack)
+    queue.put(Message(b"payload"))
+    assert drain_wait(lambda: len(got) == 1)
+    assert queue.unacked_count == 1
+
+    queue.cancel_consumer("c1")
+    assert queue.unacked_count == 0
+    assert len(queue) == 1
+    requeued = queue.get(timeout=0.1)
+    assert requeued.body == b"payload"
+    assert requeued.redelivered is True
+    assert queue.redelivered_count == 1
+
+
+def test_nack_requeues_at_head():
+    queue = MessageQueue("q")
+    held = []
+    queue.add_consumer("c1", lambda d: held.append(d), prefetch=10)
+    queue.put(Message(b"a"))
+    queue.put(Message(b"b"))
+    assert drain_wait(lambda: len(held) == 2)
+    queue.cancel_consumer("c1")
+    # Requeue order preserves original ordering (a before b).
+    assert queue.get(timeout=0.1).body == b"a"
+    assert queue.get(timeout=0.1).body == b"b"
+
+
+def test_explicit_nack():
+    queue = MessageQueue("q")
+    held = []
+    queue.add_consumer("c1", lambda d: held.append(d), prefetch=1)
+    queue.put(Message(b"x"))
+    assert drain_wait(lambda: len(held) == 1)
+    assert queue.nack(held[0].delivery_tag, requeue=False) is True
+    assert len(queue) == 0
+    assert queue.unacked_count == 0
+
+
+def test_ack_unknown_tag_returns_false():
+    queue = MessageQueue("q")
+    assert queue.ack(999999) is False
+
+
+def test_duplicate_consumer_tag_rejected():
+    queue = MessageQueue("q")
+    queue.add_consumer("dup", lambda d: None)
+    with pytest.raises(DuplicateConsumer):
+        queue.add_consumer("dup", lambda d: None)
+
+
+def test_consumer_exception_does_not_kill_dispatch():
+    queue = MessageQueue("q")
+    seen = []
+
+    def flaky(delivery):
+        seen.append(delivery)
+        queue.ack(delivery.delivery_tag)
+        if len(seen) == 1:
+            raise RuntimeError("boom")
+
+    queue.add_consumer("c1", flaky)
+    queue.put(Message(b"1"))
+    queue.put(Message(b"2"))
+    assert drain_wait(lambda: len(seen) == 2)
+
+
+def test_put_at_head():
+    queue = MessageQueue("q")
+    queue.put(Message(b"second"))
+    queue.put(Message(b"first"), at_head=True)
+    assert queue.get(timeout=0.1).body == b"first"
+
+
+def test_purge_and_len():
+    queue = MessageQueue("q")
+    for _ in range(5):
+        queue.put(Message(b"x"))
+    assert len(queue) == 5
+    assert queue.purge() == 5
+    assert len(queue) == 0
+
+
+def test_counters():
+    queue = MessageQueue("q")
+    collector = Collector(queue)
+    queue.add_consumer("c", collector)
+    for _ in range(3):
+        queue.put(Message(b"m"))
+    assert drain_wait(lambda: queue.acked_count == 3)
+    assert queue.published_count == 3
+    assert queue.delivered_count == 3
+
+
+def test_auto_ack_consumer_never_tracks_unacked():
+    queue = MessageQueue("q")
+    got = []
+    queue.add_consumer("c", lambda d: got.append(d), auto_ack=True)
+    queue.put(Message(b"x"))
+    assert drain_wait(lambda: len(got) == 1)
+    assert queue.unacked_count == 0
+    assert queue.acked_count == 1
+
+
+def test_close_stops_consumers():
+    queue = MessageQueue("q")
+    collector = Collector(queue)
+    queue.add_consumer("c", collector)
+    queue.close()
+    assert queue.consumer_count == 0

@@ -1,0 +1,115 @@
+"""Tests for the envelope helpers, naming and the ArrivalMonitor."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.objectmq.envelope import (
+    is_reply,
+    is_request,
+    make_reply,
+    make_request,
+    new_correlation_id,
+)
+from repro.objectmq.naming import multi_exchange_name, response_queue_name
+from repro.objectmq.supervisor import ArrivalMonitor
+
+
+def test_request_envelope_shape():
+    envelope = make_request("m", [1], {"k": 2}, call="sync", multi=False,
+                            reply_to="rq", correlation_id="c1", clock=5.0)
+    assert envelope["method"] == "m"
+    assert envelope["args"] == [1]
+    assert envelope["kwargs"] == {"k": 2}
+    assert envelope["sent_at"] == 5.0
+    assert is_request(envelope)
+    assert not is_reply(envelope)
+
+
+def test_reply_envelope_shape():
+    ok = make_reply("c1", result=42, responder="inst")
+    assert ok["ok"] is True and ok["result"] == 42 and ok["error"] is None
+    bad = make_reply("c1", error="ValueError: x")
+    assert bad["ok"] is False and bad["error"] == "ValueError: x"
+    assert is_reply(ok) and not is_request(ok)
+
+
+def test_correlation_ids_unique():
+    ids = {new_correlation_id() for _ in range(100)}
+    assert len(ids) == 100
+
+
+def test_naming_conventions():
+    assert multi_exchange_name("syncservice") == "syncservice.multi"
+    assert response_queue_name("abc") == "response.abc"
+
+
+def test_arrival_monitor_rate():
+    monitor = ArrivalMonitor()
+    for t in range(11):
+        monitor.record(float(t), t * 10)  # 10 arrivals/second
+    assert monitor.rate == pytest.approx(10.0)
+
+
+def test_arrival_monitor_empty_and_reset():
+    monitor = ArrivalMonitor()
+    assert monitor.rate == 0.0
+    assert monitor.interarrival_variance == 0.0
+    monitor.record(0.0, 0)
+    assert monitor.rate == 0.0  # one sample is not a rate
+    monitor.record(1.0, 5)
+    assert monitor.rate == pytest.approx(5.0)
+    monitor.reset()
+    assert monitor.rate == 0.0
+
+
+def test_arrival_monitor_window_slides():
+    monitor = ArrivalMonitor(window=5)
+    # Old high-rate samples fall out of the window.
+    for t in range(5):
+        monitor.record(float(t), t * 100)
+    for t in range(5, 15):
+        monitor.record(float(t), 400 + (t - 4) * 10)
+    assert monitor.rate == pytest.approx(10.0, rel=0.01)
+
+
+def test_arrival_monitor_variance_poissonish():
+    """For near-Poisson counts, estimated CV^2 = sigma_a2 * rate^2 ~ 1."""
+    import random
+
+    rng = random.Random(5)
+    monitor = ArrivalMonitor(window=2000)
+    cumulative = 0
+    lam = 50.0
+    for t in range(2000):
+        # Poisson sample via normal approximation (lambda large).
+        cumulative += max(0, round(rng.gauss(lam, lam**0.5)))
+        monitor.record(float(t), cumulative)
+    rate = monitor.rate
+    ca2 = monitor.interarrival_variance * rate * rate
+    assert rate == pytest.approx(lam, rel=0.05)
+    assert ca2 == pytest.approx(1.0, rel=0.25)
+
+
+def test_begin_only_generated_for_plain_sync_methods(omq):
+    from repro.objectmq import Remote, async_method, multi_method, remote_interface, sync_method
+
+    @remote_interface
+    class Api(Remote):
+        @sync_method
+        def plain(self):
+            ...
+
+        @async_method
+        def fire(self):
+            ...
+
+        @multi_method
+        @sync_method
+        def group(self):
+            ...
+
+    proxy = omq.lookup("x", Api)
+    assert hasattr(proxy, "begin_plain")
+    assert not hasattr(proxy, "begin_fire")
+    assert not hasattr(proxy, "begin_group")

@@ -1,0 +1,79 @@
+"""Tests for ObjectInfo statistics and PoolObservation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.objectmq.introspection import (
+    ObjectInfo,
+    ObjectInfoSnapshot,
+    PoolObservation,
+)
+
+
+def test_object_info_counts_and_mean():
+    info = ObjectInfo("svc", "svc.inst.1")
+    for service_time in (0.1, 0.2, 0.3):
+        info.invocation_started()
+        info.invocation_finished(service_time)
+    snapshot = info.snapshot()
+    assert snapshot.processed == 3
+    assert snapshot.errors == 0
+    assert snapshot.mean_service_time == pytest.approx(0.2)
+    # Sample variance of (0.1, 0.2, 0.3) is 0.01.
+    assert snapshot.service_time_variance == pytest.approx(0.01)
+    assert not snapshot.busy
+
+
+def test_busy_flag_during_invocation():
+    info = ObjectInfo("svc", "i")
+    info.invocation_started()
+    assert info.snapshot().busy
+    info.invocation_finished(0.01)
+    assert not info.snapshot().busy
+
+
+def test_error_counting():
+    info = ObjectInfo("svc", "i")
+    info.invocation_started()
+    info.invocation_finished(0.01, error=True)
+    snapshot = info.snapshot()
+    assert snapshot.errors == 1
+    assert snapshot.processed == 1
+
+
+def test_snapshot_wire_round_trip():
+    info = ObjectInfo("svc", "i", broker_id="b")
+    info.invocation_started()
+    info.invocation_finished(0.05)
+    snapshot = info.snapshot()
+    assert ObjectInfoSnapshot.from_wire(snapshot.to_wire()) == snapshot
+
+
+def test_pool_observation_utilization():
+    observation = PoolObservation(
+        oid="svc",
+        timestamp=0.0,
+        instance_count=4,
+        queue_depth=0,
+        arrival_rate=40.0,
+        interarrival_variance=0.0,
+        mean_service_time=0.05,
+        service_time_variance=0.0,
+    )
+    # rho = 40 * 0.05 / 4 = 0.5
+    assert observation.utilization == pytest.approx(0.5)
+
+
+def test_pool_observation_zero_instances():
+    observation = PoolObservation(
+        oid="svc",
+        timestamp=0.0,
+        instance_count=0,
+        queue_depth=5,
+        arrival_rate=1.0,
+        interarrival_variance=0.0,
+        mean_service_time=0.05,
+        service_time_variance=0.0,
+    )
+    assert observation.utilization == float("inf")

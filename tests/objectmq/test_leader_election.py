@@ -1,0 +1,123 @@
+"""Tests for supervisor heartbeats and the min-id leader election (§3.4)."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.mom import MessageBroker
+from repro.objectmq import HeartbeatEmitter, LeaderElector
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+    def advance(self, dt):
+        self.t += dt
+
+
+def settle(seconds=0.15):
+    """Give the MOM consumer threads time to deliver fanout messages."""
+    time.sleep(seconds)
+
+
+@pytest.fixture
+def mom():
+    broker = MessageBroker()
+    yield broker
+    broker.close()
+
+
+def test_heartbeat_resets_failure_detector(mom):
+    clock = FakeClock()
+    elected = []
+    elector = LeaderElector(
+        mom,
+        participant_id="b",
+        heartbeat_timeout=3.0,
+        settle_window=0.5,
+        on_elected=lambda: elected.append("b"),
+        clock=clock,
+    )
+    emitter = HeartbeatEmitter(mom, "supervisor-1")
+    clock.advance(2.0)
+    emitter.beat()
+    settle()
+    clock.advance(2.0)
+    elector.tick()  # only 2s since last heartbeat: no election
+    assert not elected
+    assert not elector.is_leader
+
+
+def test_single_participant_elects_itself(mom):
+    clock = FakeClock()
+    elected = []
+    elector = LeaderElector(
+        mom,
+        participant_id="solo",
+        heartbeat_timeout=1.0,
+        settle_window=0.2,
+        on_elected=lambda: elected.append("solo"),
+        clock=clock,
+    )
+    clock.advance(2.0)
+    elector.tick()  # starts the election
+    settle()
+    clock.advance(0.5)
+    elector.tick()  # settle window elapsed: decide
+    assert elector.is_leader
+    assert elected == ["solo"]
+
+
+def test_lowest_id_wins_among_participants(mom):
+    clock = FakeClock()
+    winners = []
+    electors = [
+        LeaderElector(
+            mom,
+            participant_id=pid,
+            heartbeat_timeout=1.0,
+            settle_window=0.2,
+            on_elected=(lambda p: (lambda: winners.append(p)))(pid),
+            clock=clock,
+        )
+        for pid in ("charlie", "alpha", "bravo")
+    ]
+    clock.advance(2.0)
+    for elector in electors:
+        elector.tick()
+    settle()  # candidate announcements propagate
+    clock.advance(0.5)
+    for elector in electors:
+        elector.tick()
+    settle()
+    assert winners == ["alpha"]
+    leaders = [e for e in electors if e.is_leader]
+    assert len(leaders) == 1 and leaders[0].participant_id == "alpha"
+
+
+def test_heartbeat_cancels_election_in_progress(mom):
+    clock = FakeClock()
+    elected = []
+    elector = LeaderElector(
+        mom,
+        participant_id="x",
+        heartbeat_timeout=1.0,
+        settle_window=0.5,
+        on_elected=lambda: elected.append("x"),
+        clock=clock,
+    )
+    emitter = HeartbeatEmitter(mom, "supervisor-1")
+    clock.advance(2.0)
+    elector.tick()  # election starts
+    emitter.beat()  # supervisor comes back
+    settle()
+    clock.advance(1.0)
+    elector.tick()
+    assert not elector.is_leader
+    assert not elected

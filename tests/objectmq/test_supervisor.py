@@ -1,0 +1,150 @@
+"""Integration tests: RemoteBroker fleet + Supervisor enforcement (§3.3-3.4)."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.mom import MessageBroker
+from repro.objectmq import (
+    Broker,
+    CrashInjector,
+    FixedProvisioner,
+    RemoteBroker,
+    Supervisor,
+)
+
+
+class Worker:
+    """Trivial spawnable server object."""
+
+    def __init__(self):
+        self.calls = 0
+
+    def work(self):
+        self.calls += 1
+        return "ok"
+
+
+@pytest.fixture
+def fleet():
+    mom = MessageBroker()
+    brokers = []
+    rbrokers = []
+    for _ in range(2):
+        broker = Broker(mom)
+        rbroker = RemoteBroker(broker)
+        rbroker.register_factory("worker", Worker)
+        rbroker.serve()
+        brokers.append(broker)
+        rbrokers.append(rbroker)
+    sup_broker = Broker(mom)
+    yield mom, rbrokers, sup_broker
+    sup_broker.close()
+    for rbroker in rbrokers:
+        rbroker.stop()
+    for broker in brokers:
+        broker.close()
+    mom.close()
+
+
+def total_instances(rbrokers, oid="worker"):
+    return sum(len(rb.instances_for(oid)) for rb in rbrokers)
+
+
+def test_supervisor_spawns_to_desired_count(fleet):
+    _mom, rbrokers, sup_broker = fleet
+    supervisor = Supervisor(sup_broker, "worker", FixedProvisioner(3))
+    record = supervisor.step()
+    assert record.spawned == 3
+    assert total_instances(rbrokers) == 3
+    assert record.alive_brokers == 2
+
+
+def test_supervisor_scales_down(fleet):
+    _mom, rbrokers, sup_broker = fleet
+    supervisor = Supervisor(sup_broker, "worker", FixedProvisioner(4))
+    supervisor.step()
+    assert total_instances(rbrokers) == 4
+    supervisor.provisioner = FixedProvisioner(1)
+    supervisor.min_instances = 1
+    record = supervisor.step()
+    assert record.removed == 3
+    assert total_instances(rbrokers) == 1
+
+
+def test_supervisor_respawns_after_crash(fleet):
+    """The Fig 8(f) repair loop: crash -> census shortfall -> respawn."""
+    _mom, rbrokers, sup_broker = fleet
+    supervisor = Supervisor(sup_broker, "worker", FixedProvisioner(2))
+    supervisor.step()
+    assert total_instances(rbrokers) == 2
+
+    injector = CrashInjector(rbrokers, "worker", period=1000.0)
+    assert injector.crash_one() is not None
+    assert total_instances(rbrokers) == 1
+
+    record = supervisor.step()
+    assert record.spawned == 1
+    assert total_instances(rbrokers) == 2
+    assert injector.crash_count == 1
+
+
+def test_supervisor_clamps_to_max(fleet):
+    _mom, rbrokers, sup_broker = fleet
+    supervisor = Supervisor(
+        sup_broker, "worker", FixedProvisioner(50), max_instances=5
+    )
+    supervisor.step()
+    assert total_instances(rbrokers) == 5
+
+
+def test_supervisor_history_records(fleet):
+    _mom, _rbrokers, sup_broker = fleet
+    supervisor = Supervisor(sup_broker, "worker", FixedProvisioner(1))
+    supervisor.step()
+    supervisor.step()
+    assert len(supervisor.history.records) == 2
+    assert supervisor.history.records[0].desired == 1
+
+
+def test_supervisor_background_loop(fleet):
+    _mom, rbrokers, sup_broker = fleet
+    supervisor = Supervisor(
+        sup_broker, "worker", FixedProvisioner(2), control_interval=0.1
+    )
+    supervisor.start()
+    try:
+        deadline = time.monotonic() + 5.0
+        while total_instances(rbrokers) < 2 and time.monotonic() < deadline:
+            time.sleep(0.05)
+        assert total_instances(rbrokers) == 2
+    finally:
+        supervisor.stop()
+
+
+def test_spawned_instances_actually_serve(fleet):
+    _mom, _rbrokers, sup_broker = fleet
+    from repro.objectmq import Remote, remote_interface, sync_method
+
+    @remote_interface
+    class WorkerApi(Remote):
+        @sync_method(timeout=2.0, retry=1)
+        def work(self):
+            ...
+
+    supervisor = Supervisor(sup_broker, "worker", FixedProvisioner(2))
+    supervisor.step()
+    proxy = sup_broker.lookup("worker", WorkerApi)
+    assert proxy.work() == "ok"
+
+
+def test_observation_includes_instance_snapshots(fleet):
+    _mom, _rbrokers, sup_broker = fleet
+    supervisor = Supervisor(sup_broker, "worker", FixedProvisioner(2))
+    supervisor.step()
+    observation = supervisor.observe()
+    assert observation.instance_count == 2
+    assert len(observation.instances) == 2
+    assert all(s.oid == "worker" for s in observation.instances)

@@ -1,0 +1,127 @@
+"""Tests for the trace-driven auto-scaling simulation (Fig 8 harness)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.elasticity import (
+    CombinedProvisioner,
+    PredictiveProvisioner,
+    ReactiveProvisioner,
+)
+from repro.objectmq.provisioner import FixedProvisioner
+from repro.simulation import AutoscaleSimulation, SimConfig
+
+
+def flat_trace(rate, seconds):
+    return [rate] * seconds
+
+
+def test_fixed_provisioner_holds_capacity():
+    sim = AutoscaleSimulation(
+        flat_trace(10, 60),
+        FixedProvisioner(2),
+        SimConfig(control_interval=5.0, spawn_delay=0.0),
+    )
+    result = sim.run()
+    assert result.total_arrivals == 600
+    assert result.total_completed == 600
+    assert {r.capacity_before for r in result.control_records[1:]} == {2}
+
+
+def test_underprovisioned_pool_violates_sla():
+    # 60 req/s against one server at 20 req/s max: meltdown.
+    sim = AutoscaleSimulation(
+        flat_trace(60, 30),
+        FixedProvisioner(1),
+        SimConfig(control_interval=5.0, spawn_delay=0.0),
+    )
+    result = sim.run()
+    assert result.sla_violation_fraction() > 0.5
+
+
+def test_reactive_rescues_flash_crowd():
+    """Pure-reactive mode corrects an unforeseen spike (§4.3.2)."""
+    predictive = PredictiveProvisioner(period=30.0, day_length=300.0)
+    predictive.load_history([1.0] * 10)  # expects almost nothing
+    reactive = ReactiveProvisioner(predictive=predictive)
+    combined = CombinedProvisioner(
+        predictive, reactive, predictive_interval=30.0, reactive_interval=10.0
+    )
+    trace = flat_trace(2, 30) + flat_trace(80, 120)  # flash crowd at t=30
+    sim = AutoscaleSimulation(
+        trace,
+        combined,
+        SimConfig(control_interval=5.0, observation_window=10.0, spawn_delay=0.5),
+    )
+    result = sim.run()
+    assert result.max_capacity() >= 5  # scaled up to absorb the crowd
+    # After the correction, late response times are healthy again.
+    late = [rt for t, rt in result.response_samples if t > 90]
+    late.sort()
+    assert late[int(len(late) * 0.95)] < 0.45
+
+
+def test_control_records_include_lambda_obs():
+    sim = AutoscaleSimulation(
+        flat_trace(20, 40),
+        FixedProvisioner(2),
+        SimConfig(control_interval=5.0, observation_window=10.0),
+    )
+    result = sim.run()
+    mid_run = [r for r in result.control_records if r.timestamp >= 15.0]
+    for record in mid_run:
+        assert record.lam_obs == pytest.approx(20.0, rel=0.4)
+
+
+def test_time_origin_reaches_provisioner():
+    seen = []
+
+    class Spy(FixedProvisioner):
+        def propose(self, observation):
+            seen.append(observation.timestamp)
+            return super().propose(observation)
+
+    sim = AutoscaleSimulation(
+        flat_trace(1, 10),
+        Spy(1),
+        SimConfig(control_interval=5.0, time_origin=1000.0),
+    )
+    sim.run()
+    assert seen[0] == pytest.approx(1000.0)
+
+
+def test_predicted_rate_recorded_for_combined():
+    predictive = PredictiveProvisioner(period=10.0, day_length=100.0)
+    predictive.load_history([42.0] * 10)
+    reactive = ReactiveProvisioner(predictive=predictive)
+    combined = CombinedProvisioner(
+        predictive, reactive, predictive_interval=10.0, reactive_interval=5.0
+    )
+    sim = AutoscaleSimulation(
+        flat_trace(40, 20), combined, SimConfig(control_interval=5.0)
+    )
+    result = sim.run()
+    assert all(r.lam_pred == pytest.approx(42.0) for r in result.control_records)
+
+
+def test_response_percentile_series_buckets():
+    sim = AutoscaleSimulation(
+        flat_trace(10, 30), FixedProvisioner(2), SimConfig(control_interval=5.0)
+    )
+    result = sim.run()
+    series = result.response_percentile_series(bucket=10.0)
+    assert len(series) >= 3
+    assert all(value > 0 for _t, value in series)
+
+
+def test_simulation_reproducible():
+    def run():
+        sim = AutoscaleSimulation(
+            flat_trace(15, 30),
+            FixedProvisioner(2),
+            SimConfig(control_interval=5.0, seed=9),
+        )
+        return sim.run().response_samples
+
+    assert run() == run()

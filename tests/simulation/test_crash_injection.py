@@ -1,0 +1,70 @@
+"""Tests for crash injection and redelivery in the DES server pool."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.simulation import EventLoop, ServerPool, ServiceTimeDistribution
+
+
+def make_pool(capacity=2, mean=1.0):
+    loop = EventLoop()
+    dist = ServiceTimeDistribution(mean=mean, variance=0.0, rng=random.Random(1))
+    return loop, ServerPool(loop, dist, initial_capacity=capacity)
+
+
+def test_crash_idle_server_reduces_capacity():
+    loop, pool = make_pool(capacity=2)
+    assert pool.crash_one_server() is True
+    assert pool.capacity == 1
+    assert pool.crash_count == 1
+    assert pool.redelivered_count == 0
+
+
+def test_crash_busy_server_redelivers_request():
+    loop, pool = make_pool(capacity=1, mean=1.0)
+    loop.schedule_at(0.0, pool.arrive)
+    loop.schedule_at(0.5, lambda: pool.crash_one_server(recovery_delay=0.5))
+    loop.run_until()
+    # The request restarted on the recovered server: arrived at 0, crash
+    # at 0.5, recovery at 1.0, fresh 1.0s service -> completes at 2.0.
+    assert pool.total_completed == 1
+    record = pool.completed[0]
+    assert record.arrived_at == pytest.approx(0.0)
+    assert record.completed_at == pytest.approx(2.0)
+    assert record.response_time == pytest.approx(2.0)
+    assert pool.redelivered_count == 1
+
+
+def test_crashed_completion_event_is_ignored():
+    loop, pool = make_pool(capacity=1, mean=1.0)
+    loop.schedule_at(0.0, pool.arrive)
+    loop.schedule_at(0.2, lambda: pool.crash_one_server(recovery_delay=0.1))
+    loop.run_until()
+    # Exactly one completion despite the original completion event firing.
+    assert pool.total_completed == 1
+    assert pool.busy == 0
+
+
+def test_no_capacity_left_to_crash():
+    loop, pool = make_pool(capacity=1)
+    assert pool.crash_one_server()
+    assert pool.crash_one_server() is False
+
+
+def test_nothing_lost_under_repeated_crashes():
+    loop, pool = make_pool(capacity=2, mean=0.05)
+    for i in range(100):
+        loop.schedule_at(i * 0.02, pool.arrive)
+    # Crash every 0.3 s with quick recovery.
+    for k in range(6):
+        loop.schedule_at(
+            0.1 + k * 0.3, lambda: pool.crash_one_server(recovery_delay=0.1)
+        )
+    loop.run_until()
+    assert pool.total_completed == 100
+    assert pool.crash_count == 6
+    # Redelivered requests took the crash detour but still completed.
+    assert max(r.response_time for r in pool.completed) < 5.0

@@ -1,0 +1,116 @@
+"""Tests for the Swift-like object store (proxy, replicas, failures)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ObjectNotFound, StorageError
+from repro.storage import LatencyModel, LatencyProfile, SwiftLikeStore
+
+
+@pytest.fixture
+def store():
+    return SwiftLikeStore(node_count=4, replicas=2)
+
+
+def test_container_required(store):
+    with pytest.raises(StorageError):
+        store.put_object("missing", "k", b"x")
+    with pytest.raises(StorageError):
+        store.get_object("missing", "k")
+
+
+def test_put_get_round_trip(store):
+    store.create_container("u-alice")
+    store.put_object("u-alice", "fp1", b"payload")
+    assert store.get_object("u-alice", "fp1") == b"payload"
+
+
+def test_get_unknown_object_raises(store):
+    store.create_container("c")
+    with pytest.raises(ObjectNotFound):
+        store.get_object("c", "ghost")
+
+
+def test_objects_replicated(store):
+    store.create_container("c")
+    store.put_object("c", "fp", b"data")
+    holders = [n for n in store.nodes.values() if n.has("c/fp")]
+    assert len(holders) == 2
+
+
+def test_read_survives_primary_failure(store):
+    store.create_container("c")
+    store.put_object("c", "fp", b"data")
+    primary = store.ring.primary_for("c/fp")
+    store.fail_node(primary)
+    assert store.get_object("c", "fp") == b"data"
+    store.recover_node(primary)
+
+
+def test_write_fails_only_when_all_replicas_down(store):
+    store.create_container("c")
+    devices = store.ring.devices_for("c/key")
+    for device in devices:
+        store.fail_node(device)
+    with pytest.raises(StorageError):
+        store.put_object("c", "key", b"x")
+    store.recover_node(devices[0])
+    store.put_object("c", "key", b"x")  # one replica suffices
+
+
+def test_head_and_delete(store):
+    store.create_container("c")
+    assert store.head_object("c", "fp") is False
+    store.put_object("c", "fp", b"x")
+    assert store.head_object("c", "fp") is True
+    assert store.delete_object("c", "fp") is True
+    assert store.head_object("c", "fp") is False
+    assert store.delete_object("c", "fp") is False
+
+
+def test_list_container_is_namespaced(store):
+    store.create_container("a")
+    store.create_container("b")
+    store.put_object("a", "one", b"1")
+    store.put_object("b", "two", b"2")
+    assert store.list_container("a") == ["one"]
+    assert store.list_container("b") == ["two"]
+
+
+def test_traffic_counters(store):
+    store.create_container("c")
+    store.put_object("c", "fp", b"12345")
+    store.get_object("c", "fp")
+    assert store.bytes_in == 5
+    assert store.bytes_out == 5
+    assert store.put_count == 1
+    assert store.get_count == 1
+    store.reset_traffic_counters()
+    assert store.bytes_in == 0
+
+
+def test_usage_accounting(store):
+    store.create_container("c")
+    store.put_object("c", "fp", b"x" * 100)
+    assert sum(store.usage().values()) == 200  # 2 replicas x 100 bytes
+
+
+def test_latency_model_charged_per_operation():
+    latency = LatencyModel(
+        profile=LatencyProfile(base=0.001, bandwidth=1e6, jitter=0.0), sleep=False
+    )
+    store = SwiftLikeStore(node_count=2, replicas=1, latency=latency)
+    store.create_container("c")
+    store.put_object("c", "fp", b"x" * 10_000)
+    assert latency.operations == 1
+    assert latency.total_simulated == pytest.approx(0.001 + 0.01)
+
+
+def test_latency_scaling():
+    profile = LatencyProfile(base=0.010, bandwidth=1e6, jitter=0.0)
+    fast = profile.scaled(0.1)
+    assert fast.base == pytest.approx(0.001)
+    model = LatencyModel(profile=fast, sleep=False)
+    # 1 MB at 10 MB/s effective = 0.1 s, plus 1 ms base
+    assert model.latency_for(1_000_000) == pytest.approx(0.101)

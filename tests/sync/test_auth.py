@@ -1,0 +1,211 @@
+"""Tests for the authentication/authorization services and interceptors."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    AuthenticationError,
+    AuthorizationError,
+    RemoteInvocationError,
+)
+from repro.metadata import MemoryMetadataBackend
+from repro.mom import MessageBroker
+from repro.objectmq import Broker
+from repro.sync import SYNC_SERVICE_OID, SyncService, SyncServiceApi, Workspace
+from repro.sync.auth import (
+    AuthService,
+    AuthenticatedStore,
+    sync_auth_interceptor,
+)
+from repro.storage import SwiftLikeStore
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 1000.0
+
+    def __call__(self):
+        return self.t
+
+
+# -- AuthService ---------------------------------------------------------------------
+
+
+def test_account_lifecycle_and_login():
+    auth = AuthService()
+    auth.create_account("alice", "s3cret")
+    token = auth.login("alice", "s3cret")
+    assert auth.validate(token.token) == "alice"
+    assert auth.active_sessions("alice") == 1
+
+
+def test_duplicate_account_rejected():
+    auth = AuthService()
+    auth.create_account("alice", "x")
+    with pytest.raises(AuthenticationError):
+        auth.create_account("alice", "y")
+
+
+def test_bad_password_rejected():
+    auth = AuthService()
+    auth.create_account("alice", "right")
+    with pytest.raises(AuthenticationError):
+        auth.login("alice", "wrong")
+    with pytest.raises(AuthenticationError):
+        auth.login("ghost", "any")
+
+
+def test_token_expiry():
+    clock = FakeClock()
+    auth = AuthService(token_ttl=10.0, clock=clock)
+    auth.create_account("alice", "pw")
+    token = auth.login("alice", "pw")
+    clock.t += 5
+    assert auth.validate(token.token) == "alice"
+    clock.t += 6
+    with pytest.raises(AuthenticationError):
+        auth.validate(token.token)
+
+
+def test_revoke():
+    auth = AuthService()
+    auth.create_account("alice", "pw")
+    token = auth.login("alice", "pw")
+    assert auth.revoke(token.token)
+    with pytest.raises(AuthenticationError):
+        auth.validate(token.token)
+    assert not auth.revoke(token.token)
+
+
+def test_missing_token_rejected():
+    auth = AuthService()
+    with pytest.raises(AuthenticationError):
+        auth.validate(None)
+    with pytest.raises(AuthenticationError):
+        auth.validate("made-up")
+
+
+def test_password_change_invalidates_sessions():
+    auth = AuthService()
+    auth.create_account("alice", "old")
+    token = auth.login("alice", "old")
+    auth.change_password("alice", "old", "new")
+    with pytest.raises(AuthenticationError):
+        auth.validate(token.token)
+    auth.login("alice", "new")
+    with pytest.raises(AuthenticationError):
+        auth.login("alice", "old")
+
+
+# -- secured SyncService over ObjectMQ ---------------------------------------------------
+
+
+@pytest.fixture
+def secured():
+    mom = MessageBroker()
+    metadata = MemoryMetadataBackend()
+    auth = AuthService()
+    for user in ("alice", "bob"):
+        metadata.create_user(user)
+        auth.create_account(user, f"{user}-pw")
+    workspace = Workspace(workspace_id="ws-alice", owner="alice")
+    metadata.create_workspace(workspace)
+
+    server = Broker(mom)
+    service = SyncService(metadata, server)
+    server.bind(
+        SYNC_SERVICE_OID,
+        service,
+        interceptors=[sync_auth_interceptor(auth, metadata)],
+    )
+    client = Broker(mom)
+    proxy = client.lookup(SYNC_SERVICE_OID, SyncServiceApi)
+    yield auth, metadata, client, proxy
+    client.close()
+    server.close()
+    mom.close()
+
+
+def test_valid_token_passes(secured):
+    auth, _metadata, client, proxy = secured
+    token = auth.login("alice", "alice-pw")
+    client.call_context["auth_token"] = token.token
+    assert [w.workspace_id for w in proxy.get_workspaces("alice")] == ["ws-alice"]
+    assert proxy.get_changes("ws-alice") == []
+
+
+def test_missing_token_rejected_remotely(secured):
+    _auth, _metadata, _client, proxy = secured
+    with pytest.raises(RemoteInvocationError) as excinfo:
+        proxy.get_workspaces("alice")
+    assert "AuthenticationError" in str(excinfo.value)
+
+
+def test_cannot_list_other_users_workspaces(secured):
+    auth, _metadata, client, proxy = secured
+    client.call_context["auth_token"] = auth.login("bob", "bob-pw").token
+    with pytest.raises(RemoteInvocationError) as excinfo:
+        proxy.get_workspaces("alice")
+    assert "AuthorizationError" in str(excinfo.value)
+
+
+def test_workspace_acl_enforced(secured):
+    auth, metadata, client, proxy = secured
+    client.call_context["auth_token"] = auth.login("bob", "bob-pw").token
+    with pytest.raises(RemoteInvocationError):
+        proxy.get_changes("ws-alice")
+    # Granting access flips the decision.
+    metadata.grant_access("ws-alice", "bob")
+    assert proxy.get_changes("ws-alice") == []
+
+
+def test_expired_token_rejected_remotely():
+    mom = MessageBroker()
+    metadata = MemoryMetadataBackend()
+    clock = FakeClock()
+    auth = AuthService(token_ttl=10.0, clock=clock)
+    metadata.create_user("alice")
+    auth.create_account("alice", "pw")
+    metadata.create_workspace(Workspace(workspace_id="ws", owner="alice"))
+    server = Broker(mom)
+    server.bind(
+        SYNC_SERVICE_OID,
+        SyncService(metadata, server),
+        interceptors=[sync_auth_interceptor(auth, metadata)],
+    )
+    client = Broker(mom)
+    proxy = client.lookup(SYNC_SERVICE_OID, SyncServiceApi)
+    client.call_context["auth_token"] = auth.login("alice", "pw").token
+    assert proxy.get_changes("ws") == []
+    clock.t += 11
+    with pytest.raises(RemoteInvocationError):
+        proxy.get_changes("ws")
+    client.close()
+    server.close()
+    mom.close()
+
+
+# -- AuthenticatedStore --------------------------------------------------------------------
+
+
+def test_authenticated_store_scopes_containers():
+    auth = AuthService()
+    auth.create_account("alice", "pw")
+    auth.create_account("bob", "pw")
+    store = SwiftLikeStore(node_count=2, replicas=1)
+    secured = AuthenticatedStore(store, auth)
+
+    alice = auth.login("alice", "pw").token
+    bob = auth.login("bob", "pw").token
+
+    secured.create_container(alice, "u-alice")
+    secured.put_object(alice, "u-alice", "fp", b"chunk")
+    assert secured.get_object(alice, "u-alice", "fp") == b"chunk"
+
+    with pytest.raises(AuthorizationError):
+        secured.get_object(bob, "u-alice", "fp")
+    with pytest.raises(AuthorizationError):
+        secured.put_object(bob, "u-alice", "x", b"y")
+    with pytest.raises(AuthenticationError):
+        secured.get_object("bogus-token", "u-alice", "fp")

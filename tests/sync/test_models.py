@@ -1,0 +1,92 @@
+"""Tests for the protocol DTOs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sync.models import (
+    STATUS_CHANGED,
+    STATUS_DELETED,
+    STATUS_NEW,
+    CommitNotification,
+    CommitResult,
+    ItemMetadata,
+    Workspace,
+)
+
+
+def make_item(**overrides):
+    base = dict(
+        item_id="ws:a.txt",
+        workspace_id="ws",
+        version=1,
+        filename="a.txt",
+        status=STATUS_NEW,
+        size=5,
+        checksum="c",
+        chunks=["f1"],
+        modified_at=1.0,
+        device_id="dev",
+    )
+    base.update(overrides)
+    return ItemMetadata(**base)
+
+
+def test_item_validates_status():
+    with pytest.raises(ValueError):
+        make_item(status="BOGUS")
+
+
+def test_item_validates_version():
+    with pytest.raises(ValueError):
+        make_item(version=0)
+
+
+def test_with_version_bumps_immutably():
+    item = make_item()
+    bumped = item.with_version(2, status=STATUS_CHANGED)
+    assert bumped.version == 2 and bumped.status == STATUS_CHANGED
+    assert item.version == 1
+
+
+def test_item_wire_round_trip():
+    item = make_item(chunks=["a", "b"])
+    assert ItemMetadata.from_wire(item.to_wire()) == item
+
+
+def test_workspace_wire_round_trip():
+    workspace = Workspace(workspace_id="ws", owner="alice", name="n")
+    assert Workspace.from_wire(workspace.to_wire()) == workspace
+
+
+def test_notification_partitions_results():
+    ok = CommitResult(metadata=make_item(), confirmed=True)
+    bad = CommitResult(
+        metadata=make_item(version=2, status=STATUS_CHANGED),
+        confirmed=False,
+        current=make_item(version=3, status=STATUS_CHANGED),
+    )
+    notification = CommitNotification(
+        workspace_id="ws", source_device="dev", results=[ok, bad]
+    )
+    assert notification.confirmed == [ok]
+    assert notification.conflicts == [bad]
+
+
+def test_notification_wire_round_trip():
+    notification = CommitNotification(
+        workspace_id="ws",
+        source_device="dev",
+        results=[
+            CommitResult(metadata=make_item(), confirmed=True),
+            CommitResult(
+                metadata=make_item(version=2, status=STATUS_DELETED),
+                confirmed=False,
+                current=make_item(version=5, status=STATUS_CHANGED),
+            ),
+        ],
+        committed_at=7.0,
+        request_id="rq",
+    )
+    decoded = CommitNotification.from_wire(notification.to_wire())
+    assert decoded == notification

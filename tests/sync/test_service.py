@@ -1,0 +1,169 @@
+"""Unit tests for the SyncService commit logic (Algorithm 1)."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.errors import RemoteInvocationError
+from repro.metadata import MemoryMetadataBackend
+from repro.mom import MessageBroker
+from repro.objectmq import Broker
+from repro.sync import (
+    RemoteWorkspaceApi,
+    SyncService,
+    Workspace,
+    workspace_oid,
+)
+from repro.sync.models import STATUS_CHANGED, STATUS_DELETED, ItemMetadata
+
+
+class NotificationSink:
+    """Binds to the workspace fanout and records notifications."""
+
+    def __init__(self):
+        self.notifications = []
+
+    def notify_commit(self, notification):
+        self.notifications.append(notification)
+
+
+@pytest.fixture
+def rig():
+    mom = MessageBroker()
+    broker = Broker(mom)
+    metadata = MemoryMetadataBackend()
+    metadata.create_user("alice")
+    workspace = Workspace(workspace_id="ws", owner="alice")
+    metadata.create_workspace(workspace)
+    service = SyncService(metadata, broker)
+    sink = NotificationSink()
+    broker.bind(workspace_oid("ws"), sink)
+    yield metadata, service, sink
+    broker.close()
+    mom.close()
+
+
+def proposal(version=1, status="NEW", device="dev-1", chunks=None):
+    return ItemMetadata(
+        item_id="ws:a.txt",
+        workspace_id="ws",
+        version=version,
+        filename="a.txt",
+        status=status,
+        size=4,
+        checksum="c",
+        chunks=chunks if chunks is not None else ["f1"],
+        modified_at=1.0,
+        device_id=device,
+    )
+
+
+def wait_for(predicate, timeout=2.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.01)
+    return predicate()
+
+
+def test_commit_new_object_confirmed(rig):
+    metadata, service, sink = rig
+    service.commit_request("ws", "dev-1", [proposal()])
+    assert metadata.get_current("ws:a.txt").version == 1
+    assert wait_for(lambda: len(sink.notifications) == 1)
+    notification = sink.notifications[0]
+    assert notification.results[0].confirmed
+    assert notification.source_device == "dev-1"
+
+
+def test_commit_successor_version_confirmed(rig):
+    metadata, service, sink = rig
+    service.commit_request("ws", "dev-1", [proposal(1)])
+    service.commit_request("ws", "dev-1", [proposal(2, STATUS_CHANGED)])
+    assert metadata.get_current("ws:a.txt").version == 2
+    assert wait_for(lambda: len(sink.notifications) == 2)
+
+
+def test_stale_version_conflicts_with_piggybacked_current(rig):
+    metadata, service, sink = rig
+    service.commit_request("ws", "dev-1", [proposal(1)])
+    service.commit_request("ws", "dev-1", [proposal(2, STATUS_CHANGED, chunks=["f2"])])
+    # dev-2 proposes v2 again (stale base): conflict.
+    service.commit_request("ws", "dev-2", [proposal(2, STATUS_CHANGED, device="dev-2")])
+    assert wait_for(lambda: len(sink.notifications) == 3)
+    conflict = sink.notifications[2].results[0]
+    assert not conflict.confirmed
+    assert conflict.current is not None
+    assert conflict.current.version == 2
+    assert conflict.current.chunks == ["f2"]  # losing client can reconstruct
+    # First-writer-wins: the metadata back-end was never rolled back.
+    assert metadata.get_current("ws:a.txt").version == 2
+    assert service.conflict_count == 1
+
+
+def test_duplicate_new_object_conflicts(rig):
+    metadata, service, sink = rig
+    service.commit_request("ws", "dev-1", [proposal(1)])
+    service.commit_request("ws", "dev-2", [proposal(1, device="dev-2")])
+    assert wait_for(lambda: len(sink.notifications) == 2)
+    assert not sink.notifications[1].results[0].confirmed
+
+
+def test_batch_commit_mixed_outcomes(rig):
+    metadata, service, sink = rig
+    other = ItemMetadata(
+        item_id="ws:b.txt",
+        workspace_id="ws",
+        version=1,
+        filename="b.txt",
+        device_id="dev-1",
+    )
+    service.commit_request("ws", "dev-1", [proposal(1)])
+    # Batch: one conflicting (duplicate v1), one fresh.
+    service.commit_request("ws", "dev-1", [proposal(1), other])
+    assert wait_for(lambda: len(sink.notifications) == 2)
+    results = sink.notifications[1].results
+    assert [r.confirmed for r in results] == [False, True]
+
+
+def test_delete_version_recorded(rig):
+    metadata, service, sink = rig
+    service.commit_request("ws", "dev-1", [proposal(1)])
+    service.commit_request("ws", "dev-1", [proposal(2, STATUS_DELETED, chunks=[])])
+    assert metadata.get_current("ws:a.txt").status == STATUS_DELETED
+    assert metadata.get_workspace_state("ws") == []
+
+
+def test_unknown_workspace_rejected(rig):
+    _metadata, service, _sink = rig
+    from repro.errors import UnknownWorkspace
+
+    with pytest.raises(UnknownWorkspace):
+        service.commit_request("ghost", "dev-1", [proposal(1)])
+
+
+def test_get_workspaces_and_changes(rig):
+    metadata, service, _sink = rig
+    assert [w.workspace_id for w in service.get_workspaces("alice")] == ["ws"]
+    assert service.get_workspaces("nobody") == []
+    service.commit_request("ws", "dev-1", [proposal(1)])
+    state = service.get_changes("ws")
+    assert len(state) == 1 and state[0].item_id == "ws:a.txt"
+
+
+def test_service_delay_hook(rig):
+    metadata, service, _sink = rig
+    service.service_delay = lambda: 0.05
+    started = time.monotonic()
+    service.commit_request("ws", "dev-1", [proposal(1)])
+    assert time.monotonic() - started >= 0.05
+
+
+def test_commit_count_statistics(rig):
+    _metadata, service, _sink = rig
+    service.commit_request("ws", "dev-1", [proposal(1)])
+    service.commit_request("ws", "dev-1", [proposal(2, STATUS_CHANGED)])
+    assert service.commit_count == 2

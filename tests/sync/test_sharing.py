@@ -1,0 +1,95 @@
+"""Tests for workspace creation and sharing over the protocol."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.client import StackSyncClient
+from repro.errors import RemoteInvocationError
+from repro.metadata import MemoryMetadataBackend
+from repro.mom import MessageBroker
+from repro.objectmq import Broker
+from repro.sync import SYNC_SERVICE_OID, SyncService, SyncServiceApi, Workspace
+from repro.sync.auth import AuthService, sync_auth_interceptor
+
+
+def test_create_and_share_via_rpc(testbed):
+    client_broker = Broker(testbed.mom)
+    proxy = client_broker.lookup(SYNC_SERVICE_OID, SyncServiceApi)
+
+    testbed.metadata.create_user("bob")
+    workspace = proxy.create_workspace("ws-team", "alice", name="Team")
+    assert workspace.workspace_id == "ws-team"
+    assert proxy.share_workspace("ws-team", "bob") is True
+    assert "ws-team" in {
+        w.workspace_id for w in testbed.metadata.workspaces_for("bob")
+    }
+    client_broker.close()
+
+
+def test_shared_workspace_syncs_across_users(testbed):
+    """Full flow: create → share → both users' devices converge."""
+    testbed.metadata.create_user("bob")
+    admin = Broker(testbed.mom)
+    proxy = admin.lookup(SYNC_SERVICE_OID, SyncServiceApi)
+    team = proxy.create_workspace("ws-shared", "alice")
+    proxy.share_workspace("ws-shared", "bob")
+
+    alice_dev = StackSyncClient(
+        "alice", team, testbed.mom, testbed.storage, device_id="alice-dev"
+    )
+    bob_dev = StackSyncClient(
+        "bob", team, testbed.mom, testbed.storage, device_id="bob-dev"
+    )
+    alice_dev.start()
+    bob_dev.start()
+    testbed.clients.extend([alice_dev, bob_dev])
+
+    meta = alice_dev.put_file("minutes.txt", b"decisions...")
+    assert bob_dev.wait_for_version(meta.item_id, meta.version, timeout=10)
+    assert bob_dev.fs.read("minutes.txt") == b"decisions..."
+
+    # And back: bob's edits reach alice.
+    meta2 = bob_dev.put_file("minutes.txt", b"decisions... and actions")
+    assert alice_dev.wait_for_version(meta2.item_id, meta2.version, timeout=10)
+    admin.close()
+
+
+def test_share_requires_ownership_when_secured():
+    mom = MessageBroker()
+    metadata = MemoryMetadataBackend()
+    auth = AuthService()
+    for user in ("alice", "bob", "carol"):
+        metadata.create_user(user)
+        auth.create_account(user, "pw")
+    metadata.create_workspace(Workspace(workspace_id="ws-a", owner="alice"))
+    metadata.grant_access("ws-a", "bob")  # bob: member, not owner
+
+    server = Broker(mom)
+    server.bind(
+        SYNC_SERVICE_OID,
+        SyncService(metadata, server),
+        interceptors=[sync_auth_interceptor(auth, metadata)],
+    )
+    client = Broker(mom)
+    proxy = client.lookup(SYNC_SERVICE_OID, SyncServiceApi)
+
+    # A member cannot re-share.
+    client.call_context["auth_token"] = auth.login("bob", "pw").token
+    with pytest.raises(RemoteInvocationError) as excinfo:
+        proxy.share_workspace("ws-a", "carol")
+    assert "AuthorizationError" in str(excinfo.value)
+
+    # The owner can.
+    client.call_context["auth_token"] = auth.login("alice", "pw").token
+    assert proxy.share_workspace("ws-a", "carol") is True
+
+    # Nobody can create workspaces for someone else.
+    with pytest.raises(RemoteInvocationError):
+        proxy.create_workspace("ws-x", "bob")
+    created = proxy.create_workspace("ws-mine", "alice")
+    assert created.owner == "alice"
+
+    client.close()
+    server.close()
+    mom.close()

@@ -1,0 +1,64 @@
+"""Tests for the stacksync-repro command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out
+
+
+def test_trace_command(capsys):
+    code, out = run_cli(
+        capsys, "trace", "--snapshots", "20", "--scale", "0.02", "--seed", "3"
+    )
+    assert code == 0
+    assert "ADDs" in out
+    assert "mean file size" in out
+
+
+def test_ub1_command(capsys):
+    code, out = run_cli(capsys, "ub1", "--resolution", "480")
+    assert code == 0
+    assert "peak:" in out
+    assert "8,514" in out
+
+
+def test_capacity_command(capsys):
+    code, out = run_cli(capsys, "capacity", "142")
+    assert code == 0
+    assert "18.5" in out  # per-server rate at Table 3 parameters
+    assert "| 8" in out.replace("           8", "| 8")  # eta = 8
+
+
+def test_capacity_custom_sla(capsys):
+    code, out = run_cli(capsys, "capacity", "100", "--sla", "900", "--service", "50")
+    assert code == 0
+    # Looser SLA -> higher per-server rate than the default 18.56.
+    rate_line = next(line for line in out.splitlines() if "eq. 1" in line)
+    rate = float(rate_line.split("|")[2].strip().split()[0])
+    assert rate > 18.56
+
+
+def test_experiments_command(capsys):
+    code, out = run_cli(capsys, "experiments")
+    assert code == 0
+    for exp_id in ("T1", "T2", "T3", "F7a", "F8f"):
+        assert exp_id in out
+    assert "pytest benchmarks/" in out
+
+
+def test_demo_command(capsys):
+    code, out = run_cli(capsys, "demo")
+    assert code == 0
+    assert "hello from the laptop" in out
+
+
+def test_parser_requires_subcommand():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])

@@ -1,0 +1,34 @@
+"""Tests for trace save/load and device registry additions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workload import Trace, TraceGenerator, TraceReplayer
+
+
+def test_trace_round_trips_through_file(tmp_path):
+    trace = TraceGenerator(seed=5, snapshots=15, scale=0.02).generate()
+    path = str(tmp_path / "trace.jsonl")
+    trace.save(path)
+    loaded = Trace.load(path)
+    assert loaded.seed == trace.seed
+    assert loaded.ops == trace.ops
+    assert loaded.summary() == trace.summary()
+
+
+def test_loaded_trace_replays_identical_contents(tmp_path):
+    trace = TraceGenerator(seed=9, snapshots=10, scale=0.02).generate()
+    path = str(tmp_path / "trace.jsonl")
+    trace.save(path)
+    loaded = Trace.load(path)
+    original = [TraceReplayer(trace).materialize(op) for op in trace.ops[:12]]
+    replayed = [TraceReplayer(loaded).materialize(op) for op in loaded.ops[:12]]
+    assert original == replayed
+
+
+def test_load_rejects_foreign_files(tmp_path):
+    path = tmp_path / "junk.jsonl"
+    path.write_text('{"format": "something-else"}\n')
+    with pytest.raises(ValueError):
+        Trace.load(str(path))

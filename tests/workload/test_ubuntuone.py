@@ -1,0 +1,81 @@
+"""Tests for the synthetic Ubuntu One arrival traces (§5.3.1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workload import PAPER_PEAK_PER_MINUTE, UB1Config, UbuntuOneTraceGenerator
+
+
+@pytest.fixture(scope="module")
+def generator():
+    return UbuntuOneTraceGenerator(UB1Config(seconds_per_day=4320))
+
+
+def test_day_length(generator):
+    assert len(generator.rate_profile(8)) == 4320
+    assert len(generator.day8()) == 4320
+
+
+def test_diurnal_shape(generator):
+    """Peak around noon, trough in the middle of the night (§4)."""
+    rates = generator.rate_profile(8)
+    per_hour = [
+        sum(rates[h * 180 : (h + 1) * 180]) / 180 for h in range(24)
+    ]
+    peak_hour = per_hour.index(max(per_hour))
+    trough_hour = per_hour.index(min(per_hour))
+    assert 10 <= peak_hour <= 15
+    assert trough_hour <= 5 or trough_hour >= 22
+    assert max(per_hour) / min(per_hour) > 3  # strong seasonality
+
+
+def test_peak_close_to_paper(generator):
+    peak = generator.peak_of(generator.day8())
+    assert peak == pytest.approx(PAPER_PEAK_PER_MINUTE, rel=0.30)
+
+
+def test_deterministic_per_seed():
+    config = UB1Config(seconds_per_day=1000)
+    a = UbuntuOneTraceGenerator(config, seed=1).day8()
+    b = UbuntuOneTraceGenerator(config, seed=1).day8()
+    c = UbuntuOneTraceGenerator(config, seed=2).day8()
+    assert a == b
+    assert a != c
+
+
+def test_day8_resembles_previous_week(generator):
+    """The property the predictive provisioner exploits: a typical day
+    matches the same weekday's profile from the history."""
+    day8 = generator.rate_profile(8)
+    day1 = generator.rate_profile(1)  # same weekday (8 % 7 == 1)
+    # Hourly profiles correlate strongly.
+    hours8 = [sum(day8[h * 180 : (h + 1) * 180]) for h in range(24)]
+    hours1 = [sum(day1[h * 180 : (h + 1) * 180]) for h in range(24)]
+    mean8 = sum(hours8) / 24
+    mean1 = sum(hours1) / 24
+    cov = sum((a - mean8) * (b - mean1) for a, b in zip(hours8, hours1))
+    var8 = sum((a - mean8) ** 2 for a in hours8)
+    var1 = sum((b - mean1) ** 2 for b in hours1)
+    correlation = cov / (var8 * var1) ** 0.5
+    assert correlation > 0.95
+
+
+def test_weekend_lighter_than_weekday():
+    generator = UbuntuOneTraceGenerator(UB1Config(seconds_per_day=2000))
+    weekday = sum(generator.rate_profile(1))  # day 1: weekday
+    weekend = sum(generator.rate_profile(6))  # day 6: weekend
+    assert weekend < weekday
+
+
+def test_week_history_summaries_length(generator):
+    period = 45.0  # 15 "real" minutes in the compressed day
+    summaries = generator.week_history_summaries(period=period)
+    assert len(summaries) == 7 * 96  # 96 fifteen-minute periods per day
+    assert all(s >= 0 for s in summaries)
+
+
+def test_arrivals_match_rates_in_expectation(generator):
+    rates = generator.rate_profile(8)
+    arrivals = generator.day8()
+    assert sum(arrivals) == pytest.approx(sum(rates), rel=0.05)
