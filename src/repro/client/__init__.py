@@ -31,6 +31,12 @@ from repro.client.sync_client import (
     conflicted_copy_name,
 )
 from repro.client.persistent_db import SqliteLocalDatabase
+from repro.client.transfer import (
+    ChunkTransferManager,
+    DEFAULT_POOL_SIZE,
+    TransferRecord,
+    TransferStats,
+)
 from repro.client.watcher import (
     DEFAULT_EXCLUDES,
     EVENT_ADD,
@@ -50,7 +56,9 @@ __all__ = [
     "FINGERPRINTERS",
     "Bzip2Compressor",
     "Chunk",
+    "ChunkTransferManager",
     "ClientTrafficStats",
+    "DEFAULT_POOL_SIZE",
     "Compressor",
     "ContentDefinedChunker",
     "DirectoryFilesystem",
@@ -67,6 +75,8 @@ __all__ = [
     "SqliteLocalDatabase",
     "StackSyncClient",
     "StackSyncDevice",
+    "TransferRecord",
+    "TransferStats",
     "VirtualFilesystem",
     "conflicted_copy_name",
     "make_chunker",

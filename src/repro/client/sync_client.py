@@ -21,13 +21,19 @@ import os
 import threading
 import time
 import uuid
-from typing import Callable, Dict, List, Optional, Tuple
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from repro.client.chunker import FixedChunker
 from repro.client.compression import Compressor, GzipCompressor
 from repro.client.fs import Filesystem, VirtualFilesystem
 from repro.client.indexer import Indexer, IndexResult, make_item_id
 from repro.client.local_db import LocalDatabase, LocalFileRecord
+from repro.client.transfer import (
+    DEFAULT_POOL_SIZE,
+    ChunkTransferManager,
+    TransferRecord,
+)
 from repro.client.watcher import (
     EVENT_ADD,
     EVENT_REMOVE,
@@ -67,6 +73,9 @@ class _WorkspaceReceiver:
 class ClientTrafficStats:
     """Per-client control/storage traffic accounting (thread-safe)."""
 
+    #: How many recent per-transfer records to retain for inspection.
+    TRANSFER_HISTORY = 1000
+
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self.storage_up = 0
@@ -74,6 +83,16 @@ class ClientTrafficStats:
         self.commits_sent = 0
         self.notifications_received = 0
         self.conflicts = 0
+        # Per-transfer metrics fed by the ChunkTransferManager.
+        self.chunk_uploads = 0
+        self.chunk_downloads = 0
+        self.upload_seconds = 0.0
+        self.download_seconds = 0.0
+        self.transfer_retries = 0
+        self.transfers_coalesced = 0
+        self._recent_transfers: Deque[TransferRecord] = deque(
+            maxlen=self.TRANSFER_HISTORY
+        )
 
     def add_up(self, nbytes: int) -> None:
         with self._lock:
@@ -82,6 +101,39 @@ class ClientTrafficStats:
     def add_down(self, nbytes: int) -> None:
         with self._lock:
             self.storage_down += nbytes
+
+    def add_commit(self) -> None:
+        with self._lock:
+            self.commits_sent += 1
+
+    def record_transfer(self, record: TransferRecord) -> None:
+        """Account one chunk transfer (called from pool worker threads)."""
+        with self._lock:
+            self._recent_transfers.append(record)
+            if record.coalesced:
+                self.transfers_coalesced += 1
+                return
+            self.transfer_retries += record.attempts - 1
+            if record.direction == "up":
+                self.chunk_uploads += 1
+                self.storage_up += record.nbytes
+                self.upload_seconds += record.elapsed
+            else:
+                self.chunk_downloads += 1
+                self.storage_down += record.nbytes
+                self.download_seconds += record.elapsed
+
+    def recent_transfers(self) -> List[TransferRecord]:
+        with self._lock:
+            return list(self._recent_transfers)
+
+    def mean_transfer_latency(self, direction: str = "up") -> float:
+        with self._lock:
+            if direction == "up":
+                count, total = self.chunk_uploads, self.upload_seconds
+            else:
+                count, total = self.chunk_downloads, self.download_seconds
+            return total / count if count else 0.0
 
 
 class StackSyncClient:
@@ -101,6 +153,8 @@ class StackSyncClient:
         sync_oid: str = SYNC_SERVICE_OID,
         batch_size: int = 1,
         local_db: Optional[LocalDatabase] = None,
+        transfer: Optional[ChunkTransferManager] = None,
+        transfer_pool_size: int = DEFAULT_POOL_SIZE,
     ):
         self.user_id = user_id
         self.workspace = workspace
@@ -120,6 +174,14 @@ class StackSyncClient:
         self.broker = Broker(mom, environment={"codec": codec, "client_id": self.device_id})
         self.sync_service = self.broker.lookup(sync_oid, SyncServiceApi)
         self.stats = ClientTrafficStats()
+        # The chunk data plane: a caller-provided manager is shared (and
+        # owned) by the caller; otherwise the client runs its own pool.
+        self._owns_transfer = transfer is None
+        self.transfer = (
+            transfer
+            if transfer is not None
+            else ChunkTransferManager(pool_size=transfer_pool_size)
+        )
 
         self._lock = threading.RLock()
         self._applied = threading.Condition(self._lock)
@@ -170,6 +232,8 @@ class StackSyncClient:
             self.broker.unbind(self._receiver_skeleton)
             self._receiver_skeleton = None
         self.broker.close()
+        if self._owns_transfer:
+            self.transfer.close()
         self.started = False
 
     # -- user-facing operations ----------------------------------------------------
@@ -238,11 +302,20 @@ class StackSyncClient:
         return result.proposal
 
     def _upload_chunks(self, result: IndexResult) -> None:
-        """Upload the unique chunks *before* proposing the commit (§4.1)."""
-        for fingerprint, payload in result.uploads:
-            self.storage.put_object(self.container, fingerprint, payload)
-            self.local_db.cache_chunk(fingerprint, payload)
-            self.stats.add_up(len(payload))
+        """Upload the unique chunks *before* proposing the commit (§4.1).
+
+        Chunks go through the transfer manager's worker pool: parallel
+        PUTs with retry, coalesced with any identical in-flight upload.
+        """
+        if not result.uploads:
+            return
+        self.transfer.upload_chunks(
+            self.storage,
+            self.container,
+            result.uploads,
+            on_uploaded=self.local_db.cache_chunk,
+            record=self.stats.record_transfer,
+        )
 
     def _send_commit(self, result: IndexResult) -> None:
         proposal = result.proposal
@@ -270,7 +343,7 @@ class StackSyncClient:
             proposals, self._pending_proposals = self._pending_proposals, []
         if not proposals:
             return
-        self.stats.commits_sent += 1
+        self.stats.add_commit()
         self.sync_service.commit_request(
             self.workspace.workspace_id,
             self.device_id,
@@ -349,22 +422,28 @@ class StackSyncClient:
         data into the user's workspace.
         """
         fingerprinter = self.indexer.chunker.fingerprinter
-        pieces: List[bytes] = []
-        for fingerprint in metadata.chunks:
-            payload = self.local_db.cached_chunk(fingerprint)
-            cached = payload is not None
-            if payload is None:
-                payload = self.storage.get_object(self.container, fingerprint)
-                self.stats.add_down(len(payload))
+
+        def decode(fingerprint: str, payload: bytes) -> bytes:
             plain = self.indexer.compressor.decompress(payload)
             if fingerprinter(plain) != fingerprint:
                 raise SyncError(
                     f"integrity check failed for chunk {fingerprint} of "
                     f"{metadata.filename!r}"
                 )
-            if not cached:
-                self.local_db.cache_chunk(fingerprint, payload)
-            pieces.append(plain)
+            return plain
+
+        # Parallel fetch with ordered reassembly: results come back in
+        # metadata.chunks order no matter which worker finishes first, and
+        # a chunk is cached (and charged) only after decode accepted it.
+        pieces = self.transfer.fetch_chunks(
+            self.storage,
+            self.container,
+            metadata.chunks,
+            lookup=self.local_db.cached_chunk,
+            decode=decode,
+            on_fetched=self.local_db.cache_chunk,
+            record=self.stats.record_transfer,
+        )
         return b"".join(pieces)
 
     def _resolve_conflict(self, result: CommitResult) -> None:

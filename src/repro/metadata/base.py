@@ -24,9 +24,16 @@ first-writer-wins policy, with no rollback ever needed.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
+from repro.errors import TransactionAborted
 from repro.sync.models import ItemMetadata, Workspace
+
+#: Per-proposal outcome of :meth:`MetadataBackend.store_versions_bulk`:
+#: ``(committed, current)`` — ``current`` is the winning server-side
+#: metadata when the proposal lost its first-writer-wins race (None when
+#: the proposal committed, or when the item does not exist at all).
+BulkOutcome = Tuple[bool, Optional[ItemMetadata]]
 
 
 class MetadataBackend(ABC):
@@ -77,6 +84,42 @@ class MetadataBackend(ABC):
     @abstractmethod
     def store_new_version(self, metadata: ItemMetadata) -> None:
         """Atomically append the next version of an existing item."""
+
+    def store_versions_bulk(
+        self, proposals: List[ItemMetadata]
+    ) -> List[BulkOutcome]:
+        """Commit every proposal of one commitRequest, one outcome each.
+
+        The whole bundle runs as a *single* back-end transaction (one
+        fsync / one lock acquisition instead of N), but conflict semantics
+        stay per item: a proposal that loses its first-writer-wins version
+        check is skipped — reported as ``(False, current)`` — without
+        aborting its siblings, exactly as if it had been committed alone.
+        Proposals later in the bundle observe the effects of earlier ones,
+        so a client may bundle v2 and v3 of the same item.
+
+        This default implementation loops over the single-item primitives
+        so any third-party backend works unchanged; the shipped engines
+        override it with genuinely single-transaction versions.
+        """
+        outcomes: List[BulkOutcome] = []
+        for proposal in proposals:
+            current = self.get_current(proposal.item_id)
+            try:
+                if current is None:
+                    self.store_new_object(proposal)
+                elif proposal.version == current.version + 1:
+                    self.store_new_version(proposal)
+                else:
+                    outcomes.append((False, current))
+                    continue
+            except TransactionAborted:
+                # Lost a race between the read and the write: report the
+                # winner from a fresh read.
+                outcomes.append((False, self.get_current(proposal.item_id)))
+                continue
+            outcomes.append((True, None))
+        return outcomes
 
     @abstractmethod
     def get_workspace_state(self, workspace_id: str) -> List[ItemMetadata]:

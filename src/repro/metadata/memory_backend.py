@@ -110,6 +110,28 @@ class MemoryMetadataBackend(MetadataBackend):
                 )
             versions.append(metadata)
 
+    def store_versions_bulk(self, proposals):
+        """Whole bundle under one lock acquisition; per-item conflicts."""
+        outcomes = []
+        with self._lock:
+            for proposal in proposals:
+                self._require_workspace(proposal.workspace_id)
+                versions = self._versions.get(proposal.item_id)
+                current = versions[-1] if versions else None
+                expected = 1 if current is None else current.version + 1
+                if proposal.version != expected:
+                    outcomes.append((False, current))
+                    continue
+                if versions is None:
+                    self._versions[proposal.item_id] = [proposal]
+                    self._workspace_items[proposal.workspace_id].add(
+                        proposal.item_id
+                    )
+                else:
+                    versions.append(proposal)
+                outcomes.append((True, None))
+        return outcomes
+
     def get_workspace_state(self, workspace_id: str) -> List[ItemMetadata]:
         with self._lock:
             self._require_workspace(workspace_id)

@@ -213,6 +213,44 @@ class SqliteMetadataBackend(MetadataBackend):
                 self._conn.execute("ROLLBACK")
                 raise
 
+    def store_versions_bulk(self, proposals):
+        """One BEGIN IMMEDIATE for the whole commitRequest bundle.
+
+        Version checks re-run inside the transaction, so racing
+        SyncService instances still serialize per item; a losing proposal
+        is simply not inserted and its winner is read within the same
+        transaction.  Later proposals in the bundle see earlier inserts.
+        """
+        outcomes = []
+        with self._lock:
+            for proposal in proposals:
+                self._require_workspace(proposal.workspace_id)
+            try:
+                self._conn.execute("BEGIN IMMEDIATE")
+                for proposal in proposals:
+                    current_version = self._conn.execute(
+                        "SELECT MAX(version) FROM item_versions WHERE item_id = ?",
+                        (proposal.item_id,),
+                    ).fetchone()[0]
+                    expected = 1 if current_version is None else current_version + 1
+                    if proposal.version != expected:
+                        current = self._conn.execute(
+                            "SELECT * FROM item_versions WHERE item_id = ? "
+                            "ORDER BY version DESC LIMIT 1",
+                            (proposal.item_id,),
+                        ).fetchone()
+                        outcomes.append(
+                            (False, self._row_to_item(current) if current else None)
+                        )
+                        continue
+                    self._insert(proposal)
+                    outcomes.append((True, None))
+                self._conn.execute("COMMIT")
+            except BaseException:
+                self._conn.execute("ROLLBACK")
+                raise
+        return outcomes
+
     def get_workspace_state(self, workspace_id: str) -> List[ItemMetadata]:
         with self._lock:
             self._require_workspace(workspace_id)

@@ -20,6 +20,7 @@ import itertools
 import logging
 import queue as stdlib_queue
 import threading
+import time
 from collections import deque
 from typing import Callable, Dict, List, Optional
 
@@ -129,10 +130,19 @@ class MessageQueue:
         response queues.
         """
         with self._not_empty:
-            if not self._ready:
-                self._not_empty.wait(timeout)
-            if not self._ready:
-                return None
+            if timeout is None:
+                while not self._ready:
+                    self._not_empty.wait()
+            else:
+                # Loop on a monotonic deadline: a single wait() can return
+                # early on a spurious wakeup, or after a racing getter
+                # stole the message that triggered the notify.
+                deadline = time.monotonic() + timeout
+                while not self._ready:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        return None
+                    self._not_empty.wait(remaining)
             self.delivered_count += 1
             self.acked_count += 1
             return self._ready.popleft()

@@ -20,7 +20,8 @@ from __future__ import annotations
 import logging
 import threading
 import time
-from typing import Any, Dict, List
+from collections import deque
+from typing import Any, Deque, Dict, List
 
 from repro.errors import DeliveryError, RemoteInvocationError, RemoteTimeout
 from repro.mom.message import Message, PERSISTENT
@@ -32,23 +33,64 @@ logger = logging.getLogger(__name__)
 
 
 class CallStats:
-    """Per-proxy client-side latency statistics (thread-safe)."""
+    """Per-proxy client-side latency statistics (thread-safe).
+
+    Aggregates (count / mean / max) are exact over every call ever made;
+    the per-call samples backing the percentile accessors live in a
+    bounded reservoir of the most recent :data:`RESERVOIR_SIZE` calls, so
+    a proxy that serves millions of invocations stays O(1) in memory.
+    """
+
+    RESERVOIR_SIZE = 10_000
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self.calls = 0
         self.timeouts = 0
-        self.response_times: List[float] = []
+        self.total_time = 0.0
+        self.max_time = 0.0
+        self._recent: Deque[float] = deque(maxlen=self.RESERVOIR_SIZE)
 
     def record(self, elapsed: float) -> None:
         with self._lock:
             self.calls += 1
-            self.response_times.append(elapsed)
+            self.total_time += elapsed
+            if elapsed > self.max_time:
+                self.max_time = elapsed
+            self._recent.append(elapsed)
 
     def record_timeout(self) -> None:
         with self._lock:
             self.calls += 1
             self.timeouts += 1
+
+    @property
+    def completed(self) -> int:
+        """Calls that got a reply (every one contributes to the mean)."""
+        with self._lock:
+            return self.calls - self.timeouts
+
+    @property
+    def mean_time(self) -> float:
+        with self._lock:
+            completed = self.calls - self.timeouts
+            return self.total_time / completed if completed else 0.0
+
+    @property
+    def response_times(self) -> List[float]:
+        """Recent response-time samples (newest last, bounded)."""
+        with self._lock:
+            return list(self._recent)
+
+    def percentile(self, fraction: float) -> float:
+        """Nearest-rank percentile over the recent-sample reservoir."""
+        with self._lock:
+            ordered = sorted(self._recent)
+        if not ordered:
+            return 0.0
+        fraction = min(max(fraction, 0.0), 1.0)
+        rank = min(len(ordered) - 1, max(0, int(round(fraction * len(ordered))) - 1))
+        return ordered[rank]
 
 
 class Proxy:

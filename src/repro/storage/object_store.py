@@ -26,36 +26,60 @@ from repro.storage.ring import HashRing
 
 @dataclass
 class StorageNode:
-    """One storage device: a flat object namespace with usage counters."""
+    """One storage device: a flat object namespace with usage counters.
+
+    Nodes are hit concurrently by the client-side transfer pools, so every
+    access to the object map happens under a per-node lock; the proxy's
+    latency charges stay outside it, which is what lets parallel transfers
+    overlap their simulated wire time.
+    """
 
     name: str
     objects: Dict[str, bytes] = field(default_factory=dict)
     failed: bool = False
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
     def put(self, key: str, data: bytes) -> None:
         if self.failed:
             raise StorageError(f"storage node {self.name} is down")
-        self.objects[key] = data
+        with self._lock:
+            self.objects[key] = data
 
     def get(self, key: str) -> bytes:
         if self.failed:
             raise StorageError(f"storage node {self.name} is down")
-        try:
-            return self.objects[key]
-        except KeyError:
-            raise ObjectNotFound(key) from None
+        with self._lock:
+            try:
+                return self.objects[key]
+            except KeyError:
+                raise ObjectNotFound(key) from None
 
     def delete(self, key: str) -> bool:
         if self.failed:
             raise StorageError(f"storage node {self.name} is down")
-        return self.objects.pop(key, None) is not None
+        with self._lock:
+            return self.objects.pop(key, None) is not None
 
     def has(self, key: str) -> bool:
-        return not self.failed and key in self.objects
+        with self._lock:
+            return not self.failed and key in self.objects
+
+    def keys(self) -> List[str]:
+        """Stable snapshot of the stored keys (safe under concurrent puts)."""
+        with self._lock:
+            return list(self.objects)
+
+    def size_of(self, key: str) -> Optional[int]:
+        if self.failed:
+            return None
+        with self._lock:
+            data = self.objects.get(key)
+            return len(data) if data is not None else None
 
     @property
     def used_bytes(self) -> int:
-        return sum(len(v) for v in self.objects.values())
+        with self._lock:
+            return sum(len(v) for v in self.objects.values())
 
 
 class SwiftLikeStore:
@@ -104,7 +128,7 @@ class SwiftLikeStore:
         prefix = container + "/"
         names: Set[str] = set()
         for node in self.nodes.values():
-            for key in node.objects:
+            for key in node.keys():
                 if key.startswith(prefix):
                     names.add(key[len(prefix):])
         return sorted(names)
@@ -176,9 +200,9 @@ class SwiftLikeStore:
         self._require_container(container)
         key = f"{container}/{name}"
         for device in self.ring.devices_for(key):
-            node = self.nodes[device]
-            if node.has(key):
-                return len(node.objects[key])
+            size = self.nodes[device].size_of(key)
+            if size is not None:
+                return size
         return None
 
     def delete_object(self, container: str, name: str) -> bool:

@@ -17,7 +17,7 @@ import time
 import uuid
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional
 
-from repro.errors import TransactionAborted, UnknownWorkspace
+from repro.errors import UnknownWorkspace
 from repro.objectmq.broker import Broker
 
 if TYPE_CHECKING:  # avoid a circular import: metadata.base imports sync.models
@@ -83,9 +83,23 @@ class SyncService(HasObjectInfo):
         if not self.metadata.workspace_exists(workspace_id):
             raise UnknownWorkspace(f"workspace {workspace_id!r} is not registered")
 
+        # The whole bundle commits in one back-end transaction; conflicts
+        # stay per item (first-writer-wins, winner piggybacked).
+        outcomes = self.metadata.store_versions_bulk(objects_changed)
         results: List[CommitResult] = []
-        for new_object in objects_changed:
-            results.append(self._commit_one(new_object))
+        for new_object, (confirmed, current) in zip(objects_changed, outcomes):
+            if not confirmed:
+                logger.debug(
+                    "conflict on %s: proposed v%d, current v%s",
+                    new_object.item_id,
+                    new_object.version,
+                    getattr(current, "version", None),
+                )
+            results.append(
+                CommitResult(
+                    metadata=new_object, confirmed=confirmed, current=current
+                )
+            )
 
         with self._lock:
             self.commit_count += 1
@@ -124,33 +138,6 @@ class SyncService(HasObjectInfo):
         return True
 
     # -- internals -------------------------------------------------------------------
-
-    def _commit_one(self, new_object: ItemMetadata) -> CommitResult:
-        server_object = self.metadata.get_current(new_object.item_id)
-        try:
-            if server_object is None:
-                # First version of a new object.
-                self.metadata.store_new_object(new_object)
-                return CommitResult(metadata=new_object, confirmed=True)
-            if server_object.version + 1 == new_object.version:
-                # No conflict: commit the new version.
-                self.metadata.store_new_version(new_object)
-                return CommitResult(metadata=new_object, confirmed=True)
-        except TransactionAborted:
-            # A concurrent instance won the race between our read and our
-            # write; fall through to the conflict path with a fresh read.
-            server_object = self.metadata.get_current(new_object.item_id)
-        # Conflict: current server metadata is piggybacked so the losing
-        # client can reconstruct the winning version.
-        logger.debug(
-            "conflict on %s: proposed v%d, current v%s",
-            new_object.item_id,
-            new_object.version,
-            getattr(server_object, "version", None),
-        )
-        return CommitResult(
-            metadata=new_object, confirmed=False, current=server_object
-        )
 
     def _workspace(self, workspace_id: str):
         with self._lock:

@@ -1,0 +1,96 @@
+"""store_versions_bulk: single-transaction bundles, per-item conflicts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.metadata.base import MetadataBackend
+from repro.sync.models import STATUS_CHANGED, STATUS_NEW, ItemMetadata, Workspace
+
+
+def item(name, version, status=STATUS_NEW, device="dev-1"):
+    return ItemMetadata(
+        item_id=f"ws:{name}",
+        workspace_id="ws",
+        version=version,
+        filename=name,
+        status=status,
+        size=4,
+        checksum="c",
+        chunks=["f1"],
+        modified_at=1.0,
+        device_id=device,
+    )
+
+
+@pytest.fixture
+def backend(metadata_backend):
+    metadata_backend.create_user("alice")
+    metadata_backend.create_workspace(Workspace(workspace_id="ws", owner="alice"))
+    return metadata_backend
+
+
+def test_bulk_commits_whole_bundle(backend):
+    outcomes = backend.store_versions_bulk(
+        [item("a.txt", 1), item("b.txt", 1), item("c.txt", 1)]
+    )
+    assert outcomes == [(True, None)] * 3
+    assert backend.counts()["versions"] == 3
+
+
+def test_bulk_conflict_is_isolated_per_item(backend):
+    backend.store_new_object(item("a.txt", 1))
+    # a.txt v1 again conflicts; its siblings must still commit.
+    outcomes = backend.store_versions_bulk(
+        [item("b.txt", 1), item("a.txt", 1, device="dev-2"), item("c.txt", 1)]
+    )
+    assert outcomes[0] == (True, None)
+    committed, current = outcomes[1]
+    assert not committed
+    assert current.item_id == "ws:a.txt"
+    assert current.version == 1
+    assert current.device_id == "dev-1"  # first writer won
+    assert outcomes[2] == (True, None)
+    assert backend.counts()["versions"] == 3
+    assert len(backend.item_history("ws:a.txt")) == 1
+
+
+def test_bulk_sees_earlier_items_of_same_bundle(backend):
+    outcomes = backend.store_versions_bulk(
+        [item("a.txt", 1), item("a.txt", 2, status=STATUS_CHANGED)]
+    )
+    assert outcomes == [(True, None)] * 2
+    assert backend.get_current("ws:a.txt").version == 2
+
+
+def test_bulk_stale_update_reports_winner(backend):
+    backend.store_new_object(item("a.txt", 1))
+    v2 = item("a.txt", 2, status=STATUS_CHANGED)
+    backend.store_new_version(v2)
+    # A proposal based on v1 (proposing v2) lost to the committed v2.
+    committed, current = backend.store_versions_bulk(
+        [item("a.txt", 2, status=STATUS_CHANGED, device="dev-9")]
+    )[0]
+    assert not committed
+    assert current.version == 2
+    assert current.device_id == "dev-1"
+
+
+def test_bulk_version_for_unknown_item_conflicts_with_no_winner(backend):
+    committed, current = backend.store_versions_bulk(
+        [item("ghost.txt", 4, status=STATUS_CHANGED)]
+    )[0]
+    assert not committed
+    assert current is None
+    assert backend.get_current("ws:ghost.txt") is None
+
+
+def test_default_base_implementation_matches_overrides(backend):
+    """The MetadataBackend fallback loop gives identical outcomes."""
+    backend.store_new_object(item("a.txt", 1))
+    bundle = [item("a.txt", 1, device="dev-2"), item("b.txt", 1)]
+    expected = MetadataBackend.store_versions_bulk(backend, list(bundle))
+    # Reset b.txt so the override sees the same starting state.
+    fresh = [item("a.txt", 1, device="dev-2"), item("c.txt", 1)]
+    actual = backend.store_versions_bulk(fresh)
+    assert [ok for ok, _ in actual] == [ok for ok, _ in expected]

@@ -231,3 +231,56 @@ def test_close_stops_consumers():
     queue.add_consumer("c", collector)
     queue.close()
     assert queue.consumer_count == 0
+
+
+def test_cancel_requeues_unacked_ahead_of_ready_in_original_order():
+    """§3.4 crash recovery: the crashed consumer's in-flight deliveries go
+    back to the *head* of the queue, in their original order, ahead of
+    messages that were still waiting in the ready buffer."""
+    queue = MessageQueue("q")
+    held = []
+    queue.add_consumer("c1", lambda d: held.append(d), prefetch=3)
+    for body in (b"m1", b"m2", b"m3", b"m4"):
+        queue.put(Message(body))
+    # Prefetch 3: m1-m3 delivered (unacked), m4 still ready.
+    assert drain_wait(lambda: len(held) == 3)
+    assert queue.unacked_count == 3 and len(queue) == 1
+
+    queue.cancel_consumer("c1")
+    assert queue.redelivered_count == 3
+    drained = [queue.get(timeout=0.1) for _ in range(4)]
+    assert [m.body for m in drained] == [b"m1", b"m2", b"m3", b"m4"]
+    assert [m.redelivered for m in drained] == [True, True, True, False]
+
+
+def test_get_survives_racing_getter_stealing_the_message():
+    """A notified getter that loses the race must keep waiting (bounded by
+    its deadline) instead of returning None early."""
+    queue = MessageQueue("q")
+    results = []
+    started = threading.Barrier(3)
+
+    def getter():
+        started.wait(timeout=2)
+        results.append(queue.get(timeout=1.0))
+
+    threads = [threading.Thread(target=getter) for _ in range(2)]
+    for t in threads:
+        t.start()
+    started.wait(timeout=2)
+    time.sleep(0.05)  # both getters are now blocked in wait()
+    # Two messages staggered: notify_all wakes both getters for the first
+    # message; the loser must loop and pick up the second.
+    queue.put(Message(b"first"))
+    time.sleep(0.05)
+    queue.put(Message(b"second"))
+    for t in threads:
+        t.join(timeout=3)
+    assert sorted(m.body for m in results) == [b"first", b"second"]
+
+
+def test_get_timeout_holds_under_spurious_conditions():
+    queue = MessageQueue("q")
+    t0 = time.monotonic()
+    assert queue.get(timeout=0.2) is None
+    assert time.monotonic() - t0 >= 0.2

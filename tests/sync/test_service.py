@@ -167,3 +167,27 @@ def test_commit_count_statistics(rig):
     service.commit_request("ws", "dev-1", [proposal(1)])
     service.commit_request("ws", "dev-1", [proposal(2, STATUS_CHANGED)])
     assert service.commit_count == 2
+
+
+def test_bundle_commits_successive_versions_of_one_item(rig):
+    """A bundled commitRequest may carry v1 and v2 of the same item; the
+    second proposal sees the first inside the same transaction."""
+    metadata, service, sink = rig
+    service.commit_request(
+        "ws", "dev-1", [proposal(1), proposal(2, STATUS_CHANGED)]
+    )
+    assert wait_for(lambda: len(sink.notifications) == 1)
+    assert [r.confirmed for r in sink.notifications[0].results] == [True, True]
+    assert metadata.get_current("ws:a.txt").version == 2
+
+
+def test_bundle_conflict_piggybacks_winner_to_loser(rig):
+    metadata, service, sink = rig
+    service.commit_request("ws", "dev-1", [proposal(1)])
+    service.commit_request("ws", "dev-2", [proposal(1, device="dev-2")])
+    assert wait_for(lambda: len(sink.notifications) == 2)
+    result = sink.notifications[1].results[0]
+    assert not result.confirmed
+    assert result.current is not None
+    assert result.current.device_id == "dev-1"
+    assert service.conflict_count == 1
