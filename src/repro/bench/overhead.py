@@ -20,6 +20,7 @@ baselines see byte-identical contents.
 from __future__ import annotations
 
 import uuid
+from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Dict, Optional
 
@@ -33,11 +34,15 @@ from repro.storage.object_store import SwiftLikeStore
 from repro.sync.interface import SYNC_SERVICE_OID
 from repro.sync.models import Workspace
 from repro.sync.service import SyncService
+from repro.telemetry.trace import TRACER
 from repro.workload.trace import OP_ADD, OP_REMOVE, OP_UPDATE, Trace, TraceReplayer
 
 #: HTTP/TLS framing charged per storage request, matching the
 #: per_object_storage_overhead the provider profiles pay.
 HTTP_STORAGE_OVERHEAD = 600
+
+#: Shared disabled-path context manager (stateless, so reusable).
+_NOOP = nullcontext()
 
 
 @dataclass
@@ -129,21 +134,28 @@ def replay_stacksync(
         op_storage_0 = testbed.storage.bytes_in + testbed.storage.bytes_out
         op_reqs_0 = testbed.storage.put_count + testbed.storage.get_count
 
-        content = replayer.materialize(op)
-        if op.op in (OP_ADD, OP_UPDATE):
-            proposal = client.put_file(op.path, content or b"")
-        elif op.op == OP_REMOVE:
-            proposal = client.delete_file(op.path)
-        else:
-            raise ValueError(f"unknown op {op.op!r}")
-        pending.append(proposal)
+        # Per-op root span covering commit + confirmation wait; the span
+        # name is only built on the enabled path.
+        with TRACER.span(
+            f"bench.op:{op.op}", layer="bench", attrs={"path": op.path}
+        ) if TRACER.enabled else _NOOP:
+            content = replayer.materialize(op)
+            if op.op in (OP_ADD, OP_UPDATE):
+                proposal = client.put_file(op.path, content or b"")
+            elif op.op == OP_REMOVE:
+                proposal = client.delete_file(op.path)
+            else:
+                raise ValueError(f"unknown op {op.op!r}")
+            pending.append(proposal)
 
-        if len(pending) >= batch_size:
-            client.flush()
-            last = pending[-1]
-            client.wait_for_version(last.item_id, last.version, timeout=wait_timeout)
-            pending.clear()
-            report.batches += 1
+            if len(pending) >= batch_size:
+                client.flush()
+                last = pending[-1]
+                client.wait_for_version(
+                    last.item_id, last.version, timeout=wait_timeout
+                )
+                pending.clear()
+                report.batches += 1
 
         op_control = testbed.mom.stats.snapshot()["bytes_published"] - op_control_0
         op_storage = testbed.storage.bytes_in + testbed.storage.bytes_out - op_storage_0

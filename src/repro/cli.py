@@ -7,7 +7,10 @@ Installed as ``stacksync-repro`` (see pyproject); also runnable as
 * ``ub1``         — print the synthetic Ubuntu One day profile;
 * ``capacity``    — evaluate equations (1)-(2) for a given arrival rate;
 * ``experiments`` — list every paper artifact and its benchmark target;
-* ``demo``        — run the in-process two-device sync demo.
+* ``demo``        — run the in-process two-device sync demo;
+* ``telemetry``   — replay a small trace with tracing on and print the
+  top-N slowest spans per layer (optionally exporting JSONL / Chrome
+  ``trace_event`` files and a metrics snapshot).
 """
 
 from __future__ import annotations
@@ -124,6 +127,57 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_telemetry(args: argparse.Namespace) -> int:
+    from repro.telemetry import (
+        disable,
+        enable,
+        get_registry,
+        load_jsonl,
+        render_flame_table,
+        write_chrome_trace,
+        write_jsonl,
+    )
+
+    if args.load:
+        spans = load_jsonl(args.load)
+        print(f"loaded {len(spans)} span(s) from {args.load}")
+    else:
+        from repro.bench.overhead import replay_stacksync
+        from repro.workload import TraceGenerator
+
+        trace = TraceGenerator(
+            initial_files=args.initial_files,
+            training_iterations=args.training,
+            snapshots=args.snapshots,
+            seed=args.seed,
+        ).generate()
+        tracer = enable()
+        try:
+            report = replay_stacksync(trace)
+        finally:
+            disable()
+        spans = tracer.spans()
+        layers = sorted({s.layer for s in spans})
+        print(
+            f"replayed {len(trace)} op(s): {len(spans)} span(s) "
+            f"across {len(layers)} layer(s) ({', '.join(layers)}); "
+            f"control {report.control_bytes} B, storage {report.storage_bytes} B"
+        )
+    print()
+    print(render_flame_table(spans, top_n=args.top))
+    if args.jsonl:
+        write_jsonl(spans, args.jsonl)
+        print(f"\nwrote JSONL span dump to {args.jsonl}")
+    if args.chrome:
+        write_chrome_trace(spans, args.chrome)
+        print(f"wrote Chrome trace_event file to {args.chrome} "
+              f"(open in about:tracing or Perfetto)")
+    if args.metrics:
+        print("\n-- metrics snapshot --")
+        print(get_registry().render_prometheus(), end="")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="stacksync-repro",
@@ -160,6 +214,34 @@ def build_parser() -> argparse.ArgumentParser:
 
     demo = sub.add_parser("demo", help="run the two-device sync demo")
     demo.set_defaults(func=_cmd_demo)
+
+    telemetry = sub.add_parser(
+        "telemetry",
+        help="trace a small replay and show the slowest spans per layer",
+    )
+    telemetry.add_argument("--initial-files", type=int, default=6)
+    telemetry.add_argument("--training", type=int, default=2)
+    telemetry.add_argument("--snapshots", type=int, default=12)
+    telemetry.add_argument("--seed", type=int, default=42)
+    telemetry.add_argument(
+        "--top", type=int, default=5, help="slowest spans shown per layer"
+    )
+    telemetry.add_argument(
+        "--jsonl", metavar="PATH", help="write the span dump as JSONL"
+    )
+    telemetry.add_argument(
+        "--chrome", metavar="PATH",
+        help="write a Chrome trace_event file (about:tracing / Perfetto)",
+    )
+    telemetry.add_argument(
+        "--load", metavar="PATH",
+        help="analyze a previously written JSONL dump instead of replaying",
+    )
+    telemetry.add_argument(
+        "--metrics", action="store_true",
+        help="also print the unified metrics registry snapshot",
+    )
+    telemetry.set_defaults(func=_cmd_telemetry)
     return parser
 
 

@@ -21,8 +21,7 @@ import os
 import threading
 import time
 import uuid
-from collections import deque
-from typing import Callable, Deque, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.client.chunker import FixedChunker
 from repro.client.compression import Compressor, GzipCompressor
@@ -44,6 +43,8 @@ from repro.client.watcher import (
 from repro.errors import ObjectNotFound, SyncError
 from repro.objectmq.broker import Broker
 from repro.storage.object_store import SwiftLikeStore
+from repro.telemetry.registry import REGISTRY
+from repro.telemetry.trace import TRACER
 from repro.sync.interface import (
     SYNC_SERVICE_OID,
     SyncServiceApi,
@@ -71,10 +72,13 @@ class _WorkspaceReceiver:
 
 
 class ClientTrafficStats:
-    """Per-client control/storage traffic accounting (thread-safe)."""
+    """Per-client control/storage traffic accounting (thread-safe).
 
-    #: How many recent per-transfer records to retain for inspection.
-    TRANSFER_HISTORY = 1000
+    Inspection happens through the unified metrics registry (the client
+    registers :meth:`scrape` as a source labeled by device); per-transfer
+    latency distributions live on the manager's ``TransferStats`` and in
+    trace spans, so no transfer history is retained here.
+    """
 
     def __init__(self) -> None:
         self._lock = threading.Lock()
@@ -90,9 +94,6 @@ class ClientTrafficStats:
         self.download_seconds = 0.0
         self.transfer_retries = 0
         self.transfers_coalesced = 0
-        self._recent_transfers: Deque[TransferRecord] = deque(
-            maxlen=self.TRANSFER_HISTORY
-        )
 
     def add_up(self, nbytes: int) -> None:
         with self._lock:
@@ -109,7 +110,6 @@ class ClientTrafficStats:
     def record_transfer(self, record: TransferRecord) -> None:
         """Account one chunk transfer (called from pool worker threads)."""
         with self._lock:
-            self._recent_transfers.append(record)
             if record.coalesced:
                 self.transfers_coalesced += 1
                 return
@@ -123,17 +123,22 @@ class ClientTrafficStats:
                 self.storage_down += record.nbytes
                 self.download_seconds += record.elapsed
 
-    def recent_transfers(self) -> List[TransferRecord]:
+    def scrape(self) -> Dict[str, float]:
+        """Registry-source view (see :mod:`repro.telemetry.registry`)."""
         with self._lock:
-            return list(self._recent_transfers)
-
-    def mean_transfer_latency(self, direction: str = "up") -> float:
-        with self._lock:
-            if direction == "up":
-                count, total = self.chunk_uploads, self.upload_seconds
-            else:
-                count, total = self.chunk_downloads, self.download_seconds
-            return total / count if count else 0.0
+            return {
+                "storage_up_bytes": self.storage_up,
+                "storage_down_bytes": self.storage_down,
+                "commits_sent": self.commits_sent,
+                "notifications_received": self.notifications_received,
+                "conflicts": self.conflicts,
+                "chunk_uploads": self.chunk_uploads,
+                "chunk_downloads": self.chunk_downloads,
+                "upload_seconds": self.upload_seconds,
+                "download_seconds": self.download_seconds,
+                "transfer_retries": self.transfer_retries,
+                "transfers_coalesced": self.transfers_coalesced,
+            }
 
 
 class StackSyncClient:
@@ -174,6 +179,12 @@ class StackSyncClient:
         self.broker = Broker(mom, environment={"codec": codec, "client_id": self.device_id})
         self.sync_service = self.broker.lookup(sync_oid, SyncServiceApi)
         self.stats = ClientTrafficStats()
+        self._metrics_token = REGISTRY.register_source(
+            "client_traffic",
+            self.stats,
+            ClientTrafficStats.scrape,
+            device=self.device_id,
+        )
         # The chunk data plane: a caller-provided manager is shared (and
         # owned) by the caller; otherwise the client runs its own pool.
         self._owns_transfer = transfer is None
@@ -234,25 +245,36 @@ class StackSyncClient:
         self.broker.close()
         if self._owns_transfer:
             self.transfer.close()
+        REGISTRY.unregister_source(self._metrics_token)
         self.started = False
 
     # -- user-facing operations ----------------------------------------------------
 
     def put_file(self, path: str, content: bytes) -> ItemMetadata:
         """Write *path* locally and propagate it (ADD or UPDATE)."""
-        self.fs.write(path, content)
-        self.watcher.ignore(path)
-        return self._index_and_commit(path, content)
+        with TRACER.span(
+            "client.put_file",
+            layer="client",
+            attrs={"path": path, "nbytes": len(content), "device": self.device_id},
+        ):
+            self.fs.write(path, content)
+            self.watcher.ignore(path)
+            return self._index_and_commit(path, content)
 
     def delete_file(self, path: str) -> ItemMetadata:
         """Delete *path* locally and propagate the removal."""
-        self.fs.delete(path)
-        self.watcher.ignore(path)
-        result = self.indexer.index_delete(
-            self.workspace.workspace_id, self.device_id, path
-        )
-        self._send_commit(result)
-        return result.proposal
+        with TRACER.span(
+            "client.delete_file",
+            layer="client",
+            attrs={"path": path, "device": self.device_id},
+        ):
+            self.fs.delete(path)
+            self.watcher.ignore(path)
+            result = self.indexer.index_delete(
+                self.workspace.workspace_id, self.device_id, path
+            )
+            self._send_commit(result)
+            return result.proposal
 
     def scan(self) -> List[FileEvent]:
         """Run one watcher scan, indexing and committing what it finds."""
@@ -344,12 +366,17 @@ class StackSyncClient:
         if not proposals:
             return
         self.stats.add_commit()
-        self.sync_service.commit_request(
-            self.workspace.workspace_id,
-            self.device_id,
-            proposals,
-            request_id=uuid.uuid4().hex,
-        )
+        with TRACER.span(
+            "client.flush",
+            layer="client",
+            attrs={"device": self.device_id, "proposals": len(proposals)},
+        ):
+            self.sync_service.commit_request(
+                self.workspace.workspace_id,
+                self.device_id,
+                proposals,
+                request_id=uuid.uuid4().hex,
+            )
 
     # -- internals: inbound ---------------------------------------------------------------
 
@@ -421,6 +448,18 @@ class StackSyncClient:
         :class:`~repro.errors.SyncError` instead of silently writing bad
         data into the user's workspace.
         """
+        with TRACER.span(
+            "client.fetch_content",
+            layer="client",
+            attrs={
+                "device": self.device_id,
+                "path": metadata.filename,
+                "chunks": len(metadata.chunks),
+            },
+        ):
+            return self._fetch_content_inner(metadata)
+
+    def _fetch_content_inner(self, metadata: ItemMetadata) -> bytes:
         fingerprinter = self.indexer.chunker.fingerprinter
 
         def decode(fingerprint: str, payload: bytes) -> bytes:

@@ -28,6 +28,7 @@ counters under the manager are byte-identical to the serial client's
 
 from __future__ import annotations
 
+import itertools
 import threading
 import time
 from concurrent.futures import Future, ThreadPoolExecutor
@@ -35,6 +36,8 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ObjectNotFound, StorageError
+from repro.telemetry.registry import REGISTRY
+from repro.telemetry.trace import TRACER, TraceContext
 
 #: Default worker-pool width; 1 degenerates to the serial data plane.
 DEFAULT_POOL_SIZE = 4
@@ -105,6 +108,10 @@ class TransferStats:
             }
 
 
+#: Distinguishes the registry series of coexisting managers.
+_POOL_SEQ = itertools.count(1)
+
+
 class ChunkTransferManager:
     """Shared bounded worker pool for chunk uploads and downloads."""
 
@@ -126,6 +133,13 @@ class ChunkTransferManager:
         self.backoff_cap = backoff_cap
         self._sleep = sleep
         self.stats = TransferStats()
+        self._metrics_token = REGISTRY.register_source(
+            "transfer_pool",
+            self.stats,
+            TransferStats.snapshot,
+            pool=f"ctm-{next(_POOL_SEQ)}",
+            size=pool_size,
+        )
         self._executor = ThreadPoolExecutor(
             max_workers=pool_size, thread_name_prefix="chunk-transfer"
         )
@@ -140,6 +154,7 @@ class ChunkTransferManager:
         with self._lock:
             self._closed = True
         self._executor.shutdown(wait=True)
+        REGISTRY.unregister_source(self._metrics_token)
 
     def __enter__(self) -> "ChunkTransferManager":
         return self
@@ -163,11 +178,13 @@ class ChunkTransferManager:
         actually stored (coalesced duplicates skip it).  Raises the first
         failure after all transfers settle.
         """
+        # Captured on the caller's thread so pool workers join its trace.
+        parent = TRACER.current() if TRACER.enabled else None
         jobs = [
             self._submit(
                 (UP, id(store), container, fingerprint),
                 lambda fp=fingerprint, data=payload: self._upload_one(
-                    store, container, fp, data, on_uploaded
+                    store, container, fp, data, on_uploaded, parent
                 ),
             )
             for fingerprint, payload in items
@@ -193,11 +210,12 @@ class ChunkTransferManager:
         downloaded, *after* decode accepted them — exactly the serial
         client's verify-then-cache order.
         """
+        parent = TRACER.current() if TRACER.enabled else None
         jobs = [
             self._submit(
                 (DOWN, id(store), container, fingerprint),
                 lambda fp=fingerprint: self._fetch_one(
-                    store, container, fp, lookup, decode, on_fetched
+                    store, container, fp, lookup, decode, on_fetched, parent
                 ),
             )
             for fingerprint in fingerprints
@@ -215,11 +233,20 @@ class ChunkTransferManager:
         fingerprint: str,
         payload: bytes,
         on_uploaded: Optional[Callable[[str, bytes], None]],
+        parent: Optional[TraceContext] = None,
     ) -> Tuple[TransferRecord, None]:
         started = time.perf_counter()
-        attempts = self._with_retry(
-            lambda: store.put_object(container, fingerprint, payload)
-        )
+        with TRACER.span(
+            "storage.put_chunk",
+            layer="storage",
+            parent=parent,
+            attrs={"fingerprint": fingerprint, "nbytes": len(payload)},
+        ) as span:
+            attempts = self._with_retry(
+                lambda: store.put_object(container, fingerprint, payload)
+            )
+            if span is not None:
+                span.set_attr("attempts", attempts)
         if on_uploaded is not None:
             on_uploaded(fingerprint, payload)
         rec = TransferRecord(
@@ -239,6 +266,7 @@ class ChunkTransferManager:
         lookup: Optional[Callable[[str], Optional[bytes]]],
         decode: Optional[Callable[[str, bytes], bytes]],
         on_fetched: Optional[Callable[[str, bytes], None]],
+        parent: Optional[TraceContext] = None,
     ) -> Tuple[TransferRecord, bytes]:
         started = time.perf_counter()
         payload = lookup(fingerprint) if lookup is not None else None
@@ -250,8 +278,19 @@ class ChunkTransferManager:
             def fetch() -> None:
                 box.append(store.get_object(container, fingerprint))
 
-            attempts = self._with_retry(fetch)
-            payload = box[-1]
+            # Only genuine downloads get a storage span; cache hits never
+            # touch the back-end.
+            with TRACER.span(
+                "storage.get_chunk",
+                layer="storage",
+                parent=parent,
+                attrs={"fingerprint": fingerprint},
+            ) as span:
+                attempts = self._with_retry(fetch)
+                payload = box[-1]
+                if span is not None:
+                    span.set_attr("nbytes", len(payload))
+                    span.set_attr("attempts", attempts)
         plain = decode(fingerprint, payload) if decode is not None else payload
         if not cached and on_fetched is not None:
             on_fetched(fingerprint, payload)

@@ -28,6 +28,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.errors import TransactionAborted
 from repro.sync.models import ItemMetadata, Workspace
+from repro.telemetry.trace import TRACER
 
 #: Per-proposal outcome of :meth:`MetadataBackend.store_versions_bulk`:
 #: ``(committed, current)`` — ``current`` is the winning server-side
@@ -38,6 +39,19 @@ BulkOutcome = Tuple[bool, Optional[ItemMetadata]]
 
 class MetadataBackend(ABC):
     """Abstract DAO over users, workspaces and versioned item metadata."""
+
+    def transaction_span(self, proposals: int):
+        """Telemetry span for one bulk commit transaction.
+
+        Every engine wraps its :meth:`store_versions_bulk` body in this so
+        the trace tree attributes back-end time to the ``metadata`` layer
+        regardless of which implementation is plugged in.
+        """
+        return TRACER.span(
+            "metadata.txn",
+            layer="metadata",
+            attrs={"backend": type(self).__name__, "proposals": proposals},
+        )
 
     # -- accounts & workspaces ---------------------------------------------------
 
@@ -103,22 +117,23 @@ class MetadataBackend(ABC):
         override it with genuinely single-transaction versions.
         """
         outcomes: List[BulkOutcome] = []
-        for proposal in proposals:
-            current = self.get_current(proposal.item_id)
-            try:
-                if current is None:
-                    self.store_new_object(proposal)
-                elif proposal.version == current.version + 1:
-                    self.store_new_version(proposal)
-                else:
-                    outcomes.append((False, current))
+        with self.transaction_span(len(proposals)):
+            for proposal in proposals:
+                current = self.get_current(proposal.item_id)
+                try:
+                    if current is None:
+                        self.store_new_object(proposal)
+                    elif proposal.version == current.version + 1:
+                        self.store_new_version(proposal)
+                    else:
+                        outcomes.append((False, current))
+                        continue
+                except TransactionAborted:
+                    # Lost a race between the read and the write: report the
+                    # winner from a fresh read.
+                    outcomes.append((False, self.get_current(proposal.item_id)))
                     continue
-            except TransactionAborted:
-                # Lost a race between the read and the write: report the
-                # winner from a fresh read.
-                outcomes.append((False, self.get_current(proposal.item_id)))
-                continue
-            outcomes.append((True, None))
+                outcomes.append((True, None))
         return outcomes
 
     @abstractmethod

@@ -113,7 +113,7 @@ class MemoryMetadataBackend(MetadataBackend):
     def store_versions_bulk(self, proposals):
         """Whole bundle under one lock acquisition; per-item conflicts."""
         outcomes = []
-        with self._lock:
+        with self.transaction_span(len(proposals)), self._lock:
             for proposal in proposals:
                 self._require_workspace(proposal.workspace_id)
                 versions = self._versions.get(proposal.item_id)

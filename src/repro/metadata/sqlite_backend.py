@@ -222,7 +222,7 @@ class SqliteMetadataBackend(MetadataBackend):
         transaction.  Later proposals in the bundle see earlier inserts.
         """
         outcomes = []
-        with self._lock:
+        with self.transaction_span(len(proposals)), self._lock:
             for proposal in proposals:
                 self._require_workspace(proposal.workspace_id)
             try:

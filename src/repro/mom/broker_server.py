@@ -27,6 +27,7 @@ from repro.mom.exchange import EXCHANGE_TYPES, DirectExchange, Exchange
 from repro.mom.message import Delivery, Message
 from repro.mom.persistence import InMemoryMessageStore
 from repro.mom.queue import Consumer, MessageQueue
+from repro.telemetry.registry import REGISTRY
 
 #: Name of the implicit default exchange (direct; routing key == queue name).
 DEFAULT_EXCHANGE = ""
@@ -86,6 +87,11 @@ class MessageBroker:
         self._exchanges: Dict[str, Exchange] = {DEFAULT_EXCHANGE: DirectExchange("")}
         self._closed = False
         self.stats = BrokerStats()
+        # Scrape-time wiring into the unified registry: evaluated only on
+        # snapshot, weakly held, so the publish hot path is untouched.
+        REGISTRY.register_source(
+            "mom_broker", self.stats, BrokerStats.snapshot, broker=name
+        )
 
     # -- topology -------------------------------------------------------------
 

@@ -26,6 +26,7 @@ from typing import Callable, Dict, List, Optional
 
 from repro.errors import DuplicateConsumer
 from repro.mom.message import Delivery, Message
+from repro.telemetry.trace import DEQUEUED_AT_KEY, ENQUEUED_AT_KEY, TRACER
 
 logger = logging.getLogger(__name__)
 
@@ -111,6 +112,10 @@ class MessageQueue:
 
     def put(self, message: Message, at_head: bool = False) -> None:
         """Enqueue *message* and trigger dispatch."""
+        if TRACER.enabled:
+            # Broker-clock enqueue stamp: queue-wait spans are derived
+            # from these header timestamps, not from endpoint timers.
+            message.headers.setdefault(ENQUEUED_AT_KEY, time.time())
         with self._lock:
             if at_head:
                 self._ready.appendleft(message)
@@ -145,7 +150,10 @@ class MessageQueue:
                     self._not_empty.wait(remaining)
             self.delivered_count += 1
             self.acked_count += 1
-            return self._ready.popleft()
+            message = self._ready.popleft()
+            if TRACER.enabled:
+                message.headers[DEQUEUED_AT_KEY] = time.time()
+            return message
 
     # -- push-mode (basic.consume) -------------------------------------------
 
@@ -238,6 +246,8 @@ class MessageQueue:
             if consumer is None:
                 return
             message = self._ready.popleft()
+            if TRACER.enabled:
+                message.headers[DEQUEUED_AT_KEY] = time.time()
             delivery = Delivery(
                 delivery_tag=_next_delivery_tag(),
                 queue_name=self.name,

@@ -17,7 +17,13 @@ from typing import Dict, List, Optional
 
 @dataclass
 class ObjectInfoSnapshot:
-    """Immutable view of one instance's statistics at a point in time."""
+    """Immutable view of one instance's statistics at a point in time.
+
+    ``captured_at`` is a **monotonic** stamp taken when the snapshot was
+    built; consumers (the Supervisor) use :meth:`age` to discard stale
+    snapshots instead of trusting any snapshot regardless of age.  It is
+    None only for snapshots produced by pre-telemetry peers.
+    """
 
     oid: str
     instance_id: str
@@ -29,6 +35,24 @@ class ObjectInfoSnapshot:
     service_time_variance: float
     last_invocation_at: Optional[float]
     uptime: float
+    captured_at: Optional[float] = None
+
+    def age(self, now: Optional[float] = None) -> float:
+        """Seconds since capture (0.0 when the stamp is unknown)."""
+        if self.captured_at is None:
+            return 0.0
+        now = time.monotonic() if now is None else now
+        return max(0.0, now - self.captured_at)
+
+    def is_stale(self, horizon: float, now: Optional[float] = None) -> bool:
+        """True when the snapshot is older than *horizon* seconds.
+
+        Unstamped snapshots are treated as stale: a peer that cannot say
+        when it measured should not steer the provisioner.
+        """
+        if self.captured_at is None:
+            return True
+        return self.age(now) > horizon
 
     def to_wire(self) -> dict:
         return {
@@ -42,6 +66,7 @@ class ObjectInfoSnapshot:
             "service_time_variance": self.service_time_variance,
             "last_invocation_at": self.last_invocation_at,
             "uptime": self.uptime,
+            "captured_at": self.captured_at,
         }
 
     @classmethod
@@ -94,7 +119,20 @@ class ObjectInfo:
                 service_time_variance=variance,
                 last_invocation_at=self._last_invocation_at,
                 uptime=time.time() - self._started_at,
+                captured_at=time.monotonic(),
             )
+
+    def scrape(self) -> dict:
+        """Registry-source view (see :mod:`repro.telemetry.registry`)."""
+        snap = self.snapshot()
+        return {
+            "processed": snap.processed,
+            "errors": snap.errors,
+            "busy": int(snap.busy),
+            "mean_service_seconds": snap.mean_service_time,
+            "service_variance": snap.service_time_variance,
+            "uptime_seconds": snap.uptime,
+        }
 
 
 class HasObjectInfo:

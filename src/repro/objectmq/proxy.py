@@ -28,6 +28,9 @@ from repro.mom.message import Message, PERSISTENT
 from repro.objectmq.annotations import CallSpec
 from repro.objectmq.naming import multi_exchange_name
 from repro.objectmq.envelope import make_request, new_correlation_id
+from repro.telemetry.registry import REGISTRY
+from repro.telemetry.stats import percentile as _shared_percentile
+from repro.telemetry.trace import TRACE_KEY, TRACER
 
 logger = logging.getLogger(__name__)
 
@@ -83,14 +86,32 @@ class CallStats:
             return list(self._recent)
 
     def percentile(self, fraction: float) -> float:
-        """Nearest-rank percentile over the recent-sample reservoir."""
+        """Percentile over the recent-sample reservoir.
+
+        Delegates to :func:`repro.telemetry.stats.percentile` — the one
+        linear-interpolation implementation shared with
+        :mod:`repro.simulation.metrics` — so client-side and simulation
+        percentiles agree even at small n.
+        """
         with self._lock:
-            ordered = sorted(self._recent)
-        if not ordered:
-            return 0.0
-        fraction = min(max(fraction, 0.0), 1.0)
-        rank = min(len(ordered) - 1, max(0, int(round(fraction * len(ordered))) - 1))
-        return ordered[rank]
+            recent = list(self._recent)
+        return _shared_percentile(recent, fraction)
+
+    def scrape(self) -> dict:
+        """Registry-source view of this proxy's call statistics."""
+        with self._lock:
+            recent = list(self._recent)
+            calls, timeouts = self.calls, self.timeouts
+            total, maximum = self.total_time, self.max_time
+        completed = calls - timeouts
+        return {
+            "calls": calls,
+            "timeouts": timeouts,
+            "mean_seconds": total / completed if completed else 0.0,
+            "max_seconds": maximum,
+            "p50_seconds": _shared_percentile(recent, 0.50),
+            "p95_seconds": _shared_percentile(recent, 0.95),
+        }
 
 
 class Proxy:
@@ -102,6 +123,13 @@ class Proxy:
         self._interface_name = interface_name
         self._specs = specs
         self.call_stats = CallStats()
+        REGISTRY.register_source(
+            "omq_proxy",
+            self.call_stats,
+            CallStats.scrape,
+            oid=oid,
+            interface=interface_name,
+        )
         for method_name, spec in specs.items():
             setattr(self, method_name, self._make_method(method_name, spec))
 
@@ -143,19 +171,36 @@ class Proxy:
     def _publish(self, exchange: str, routing_key: str, envelope: dict) -> int:
         if self._broker.call_context:
             envelope["context"] = dict(self._broker.call_context)
-        body = self._broker.codec.encode(envelope)
+        headers = None
+        if TRACER.enabled:
+            # Propagate the trace both inside the envelope (for the
+            # skeleton) and as a MOM message property (for broker-level
+            # tooling).  Nothing is attached when tracing is off, so the
+            # wire bytes are identical to the untraced build.
+            wire = TRACER.inject()
+            if wire is not None:
+                envelope[TRACE_KEY] = wire
+                headers = {TRACE_KEY: wire}
+            with TRACER.span(
+                f"proxy.serialize:{envelope.get('method', '?')}", layer="proxy"
+            ):
+                body = self._broker.codec.encode(envelope)
+        else:
+            body = self._broker.codec.encode(envelope)
         message = Message(
             body=body,
             routing_key=routing_key,
             reply_to=envelope.get("reply_to"),
             correlation_id=envelope.get("correlation_id"),
+            headers=headers if headers is not None else {},
             delivery_mode=PERSISTENT,
         )
         return self._broker.mom.publish(exchange, routing_key, message)
 
     def _invoke_async(self, method: str, spec: CallSpec, args, kwargs) -> None:
-        envelope = make_request(method, list(args), kwargs, call="async", multi=False)
-        self._publish("", self._oid, envelope)
+        with TRACER.span(f"proxy.cast:{method}", layer="proxy"):
+            envelope = make_request(method, list(args), kwargs, call="async", multi=False)
+            self._publish("", self._oid, envelope)
 
     def _invoke_sync(self, method: str, spec: CallSpec, args, kwargs) -> Any:
         correlation_id = new_correlation_id()
@@ -171,22 +216,23 @@ class Proxy:
         waiter = self._broker.register_waiter(correlation_id)
         started = time.perf_counter()
         try:
-            attempts = 1 + max(0, spec.retry)
-            for attempt in range(attempts):
-                self._publish("", self._oid, envelope)
-                reply = waiter.take(spec.timeout)
-                if reply is not None:
-                    self.call_stats.record(time.perf_counter() - started)
-                    return self._unwrap(method, reply)
-                logger.debug(
-                    "sync call %s.%s attempt %d/%d timed out",
-                    self._oid, method, attempt + 1, attempts,
+            with TRACER.span(f"proxy.call:{method}", layer="proxy"):
+                attempts = 1 + max(0, spec.retry)
+                for attempt in range(attempts):
+                    self._publish("", self._oid, envelope)
+                    reply = waiter.take(spec.timeout)
+                    if reply is not None:
+                        self.call_stats.record(time.perf_counter() - started)
+                        return self._unwrap(method, reply)
+                    logger.debug(
+                        "sync call %s.%s attempt %d/%d timed out",
+                        self._oid, method, attempt + 1, attempts,
+                    )
+                self.call_stats.record_timeout()
+                raise RemoteTimeout(
+                    f"{self._interface_name}.{method} on {self._oid!r}: no reply after "
+                    f"{attempts} attempt(s) x {spec.timeout}s"
                 )
-            self.call_stats.record_timeout()
-            raise RemoteTimeout(
-                f"{self._interface_name}.{method} on {self._oid!r}: no reply after "
-                f"{attempts} attempt(s) x {spec.timeout}s"
-            )
         finally:
             self._broker.unregister_waiter(correlation_id)
 
@@ -230,13 +276,14 @@ class Proxy:
         return future
 
     def _invoke_multi_async(self, method: str, spec: CallSpec, args, kwargs) -> int:
-        envelope = make_request(method, list(args), kwargs, call="async", multi=True)
-        try:
-            return self._publish(self._multi_exchange(), self._oid, envelope)
-        except DeliveryError:
-            # Nobody is bound to the fanout yet: a multicast to an empty
-            # group is a no-op, not an error.
-            return 0
+        with TRACER.span(f"proxy.multicast:{method}", layer="proxy"):
+            envelope = make_request(method, list(args), kwargs, call="async", multi=True)
+            try:
+                return self._publish(self._multi_exchange(), self._oid, envelope)
+            except DeliveryError:
+                # Nobody is bound to the fanout yet: a multicast to an empty
+                # group is a no-op, not an error.
+                return 0
 
     def _invoke_multi_sync(self, method: str, spec: CallSpec, args, kwargs) -> List[Any]:
         correlation_id = new_correlation_id()
@@ -253,22 +300,23 @@ class Proxy:
         results: List[Any] = []
         started = time.perf_counter()
         try:
-            try:
-                fanout = self._publish(self._multi_exchange(), self._oid, envelope)
-            except DeliveryError:
-                return []
-            needed = fanout if spec.quorum is None else min(spec.quorum, fanout)
-            deadline = time.monotonic() + spec.timeout
-            while len(results) < needed:
-                remaining = deadline - time.monotonic()
-                if remaining <= 0:
-                    break
-                reply = waiter.take(remaining)
-                if reply is None:
-                    break
-                results.append(self._unwrap(method, reply))
-            self.call_stats.record(time.perf_counter() - started)
-            return results
+            with TRACER.span(f"proxy.multicall:{method}", layer="proxy"):
+                try:
+                    fanout = self._publish(self._multi_exchange(), self._oid, envelope)
+                except DeliveryError:
+                    return []
+                needed = fanout if spec.quorum is None else min(spec.quorum, fanout)
+                deadline = time.monotonic() + spec.timeout
+                while len(results) < needed:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        break
+                    reply = waiter.take(remaining)
+                    if reply is None:
+                        break
+                    results.append(self._unwrap(method, reply))
+                self.call_stats.record(time.perf_counter() - started)
+                return results
         finally:
             self._broker.unregister_waiter(correlation_id)
 

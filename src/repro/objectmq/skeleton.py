@@ -23,6 +23,14 @@ from repro.mom.message import Delivery, Message, PERSISTENT
 from repro.objectmq.naming import multi_exchange_name
 from repro.objectmq.envelope import make_reply
 from repro.objectmq.introspection import ObjectInfo
+from repro.telemetry.registry import REGISTRY
+from repro.telemetry.trace import (
+    DEQUEUED_AT_KEY,
+    ENQUEUED_AT_KEY,
+    TRACE_KEY,
+    TRACER,
+    TraceContext,
+)
 
 logger = logging.getLogger(__name__)
 
@@ -50,6 +58,7 @@ class Skeleton:
         self._unicast_tag = f"{self.instance_id}.uni"
         self._multi_tag = f"{self.instance_id}.multi"
         self._running = False
+        self._metrics_token = None
 
     # -- lifecycle ----------------------------------------------------------------
 
@@ -72,12 +81,22 @@ class Skeleton:
             self.instance_id, self._on_delivery, consumer_tag=self._multi_tag,
             prefetch=max(self.prefetch, 8),
         )
+        self._metrics_token = REGISTRY.register_source(
+            "omq_instance",
+            self.object_info,
+            ObjectInfo.scrape,
+            oid=self.oid,
+            instance=self.instance_id,
+        )
 
     def stop(self) -> None:
         """Graceful unbind: in-flight unacked messages are redelivered."""
         if not self._running:
             return
         self._running = False
+        if self._metrics_token is not None:
+            REGISTRY.unregister_source(self._metrics_token)
+            self._metrics_token = None
         mom = self.broker.mom
         mom.cancel(self.oid, self._unicast_tag)
         mom.cancel(self.instance_id, self._multi_tag)
@@ -118,7 +137,34 @@ class Skeleton:
             context = envelope.get("context") or {}
             for interceptor in self.interceptors:
                 interceptor(method_name, args, kwargs, context)
-            result = method(*args, **kwargs)
+            if TRACER.enabled:
+                parent = TraceContext.from_wire(envelope.get(TRACE_KEY))
+                headers = delivery.message.headers
+                enqueued = headers.get(ENQUEUED_AT_KEY)
+                dequeued = headers.get(DEQUEUED_AT_KEY)
+                if parent is not None and enqueued is not None and dequeued is not None:
+                    # Queue wait from the broker's own enqueue/dequeue
+                    # stamps — the latency endpoint timers cannot see.
+                    TRACER.record_span(
+                        f"queue.wait:{delivery.queue_name}",
+                        layer="queue",
+                        start=enqueued,
+                        end=dequeued,
+                        parent=parent,
+                        attrs={
+                            "queue": delivery.queue_name,
+                            "redelivered": delivery.message.redelivered,
+                        },
+                    )
+                with TRACER.span(
+                    f"skeleton.dispatch:{method_name}",
+                    layer="skeleton",
+                    parent=parent,
+                    attrs={"oid": self.oid, "instance": self.instance_id},
+                ):
+                    result = method(*args, **kwargs)
+            else:
+                result = method(*args, **kwargs)
         except Exception as exc:  # noqa: BLE001 - reported to caller, never fatal
             error = f"{type(exc).__name__}: {exc}"
             logger.debug("invocation failed on %s: %s", self.instance_id, error)

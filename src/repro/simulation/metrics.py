@@ -2,25 +2,20 @@
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
+# One percentile implementation for the whole stack (numpy-style linear
+# interpolation); re-exported here for the simulation layer's callers.
+from repro.telemetry.stats import percentile
 
-def percentile(values: Sequence[float], fraction: float) -> float:
-    """Linear-interpolation percentile (matches numpy's default)."""
-    if not values:
-        return 0.0
-    ordered = sorted(values)
-    if len(ordered) == 1:
-        return ordered[0]
-    rank = fraction * (len(ordered) - 1)
-    low = int(math.floor(rank))
-    high = int(math.ceil(rank))
-    if low == high:
-        return ordered[low]
-    weight = rank - low
-    return ordered[low] * (1 - weight) + ordered[high] * weight
+__all__ = [
+    "BoxplotStats",
+    "boxplot_stats",
+    "bucket_by_time",
+    "fraction_above",
+    "percentile",
+]
 
 
 @dataclass(frozen=True)

@@ -22,6 +22,7 @@ from typing import Dict, List, Optional, Set
 from repro.errors import ObjectNotFound, StorageError
 from repro.storage.latency import LatencyModel, LatencyProfile, ZERO_PROFILE
 from repro.storage.ring import HashRing
+from repro.telemetry.registry import REGISTRY
 
 
 @dataclass
@@ -112,6 +113,23 @@ class SwiftLikeStore:
         self.bytes_out = 0
         self.put_count = 0
         self.get_count = 0
+        REGISTRY.register_source(
+            "storage_proxy",
+            self,
+            SwiftLikeStore.scrape,
+            nodes=node_count,
+            replicas=replicas,
+        )
+
+    def scrape(self) -> Dict[str, int]:
+        """Registry-source view of the proxy's traffic accounting."""
+        with self._lock:
+            return {
+                "bytes_in": self.bytes_in,
+                "bytes_out": self.bytes_out,
+                "put_count": self.put_count,
+                "get_count": self.get_count,
+            }
 
     # -- containers -----------------------------------------------------------------
 

@@ -19,6 +19,7 @@ from typing import TYPE_CHECKING, Callable, Dict, List, Optional
 
 from repro.errors import UnknownWorkspace
 from repro.objectmq.broker import Broker
+from repro.telemetry.trace import TRACER
 
 if TYPE_CHECKING:  # avoid a circular import: metadata.base imports sync.models
     from repro.metadata.base import MetadataBackend
@@ -76,43 +77,49 @@ class SyncService(HasObjectInfo):
         request_id: str = "",
     ) -> None:
         """Algorithm 1 of the paper, one list of proposed changes."""
-        if self.service_delay is not None:
-            delay = self.service_delay()
-            if delay > 0:
-                time.sleep(delay)
-        if not self.metadata.workspace_exists(workspace_id):
-            raise UnknownWorkspace(f"workspace {workspace_id!r} is not registered")
+        with TRACER.span(
+            "sync.commit_request",
+            layer="sync",
+            attrs={"workspace": workspace_id, "proposals": len(objects_changed)},
+        ):
+            if self.service_delay is not None:
+                delay = self.service_delay()
+                if delay > 0:
+                    time.sleep(delay)
+            if not self.metadata.workspace_exists(workspace_id):
+                raise UnknownWorkspace(f"workspace {workspace_id!r} is not registered")
 
-        # The whole bundle commits in one back-end transaction; conflicts
-        # stay per item (first-writer-wins, winner piggybacked).
-        outcomes = self.metadata.store_versions_bulk(objects_changed)
-        results: List[CommitResult] = []
-        for new_object, (confirmed, current) in zip(objects_changed, outcomes):
-            if not confirmed:
-                logger.debug(
-                    "conflict on %s: proposed v%d, current v%s",
-                    new_object.item_id,
-                    new_object.version,
-                    getattr(current, "version", None),
+            # The whole bundle commits in one back-end transaction; conflicts
+            # stay per item (first-writer-wins, winner piggybacked).
+            outcomes = self.metadata.store_versions_bulk(objects_changed)
+            results: List[CommitResult] = []
+            for new_object, (confirmed, current) in zip(objects_changed, outcomes):
+                if not confirmed:
+                    logger.debug(
+                        "conflict on %s: proposed v%d, current v%s",
+                        new_object.item_id,
+                        new_object.version,
+                        getattr(current, "version", None),
+                    )
+                results.append(
+                    CommitResult(
+                        metadata=new_object, confirmed=confirmed, current=current
+                    )
                 )
-            results.append(
-                CommitResult(
-                    metadata=new_object, confirmed=confirmed, current=current
-                )
+
+            with self._lock:
+                self.commit_count += 1
+                self.conflict_count += sum(1 for r in results if not r.confirmed)
+
+            notification = CommitNotification(
+                workspace_id=workspace_id,
+                source_device=device_id,
+                results=results,
+                committed_at=time.time(),
+                request_id=request_id or uuid.uuid4().hex,
             )
-
-        with self._lock:
-            self.commit_count += 1
-            self.conflict_count += sum(1 for r in results if not r.confirmed)
-
-        notification = CommitNotification(
-            workspace_id=workspace_id,
-            source_device=device_id,
-            results=results,
-            committed_at=time.time(),
-            request_id=request_id or uuid.uuid4().hex,
-        )
-        self._workspace(workspace_id).notify_commit(notification)
+            with TRACER.span("sync.notify_commit", layer="sync"):
+                self._workspace(workspace_id).notify_commit(notification)
 
     def create_workspace(
         self, workspace_id: str, owner: str, name: str = ""

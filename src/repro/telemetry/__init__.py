@@ -1,0 +1,84 @@
+"""End-to-end telemetry: trace propagation, unified metrics, exporters.
+
+The observability layer the elasticity loop (§3.3) implies but the paper
+never shows: per-hop spans across client → ObjectMQ proxy → broker queue
+→ skeleton → SyncService → metadata/storage, a process-wide metrics
+registry absorbing every scattered meter, and exporters (JSONL span
+dumps, Chrome ``trace_event`` for about:tracing/Perfetto, Prometheus-style
+text snapshots).
+
+Everything is **off by default** and zero-cost when disabled: each
+instrumentation site is guarded by a single ``TRACER.enabled`` attribute
+check, and no trace bytes touch the wire unless tracing is on.
+
+Typical use::
+
+    from repro import telemetry
+
+    telemetry.enable()
+    ...  # run a workload
+    spans = telemetry.get_tracer().spans()
+    telemetry.write_chrome_trace(spans, "sync.trace.json")
+    print(telemetry.get_registry().render_prometheus())
+    telemetry.disable()
+"""
+
+from repro.telemetry.export import (
+    load_jsonl,
+    render_flame_table,
+    spans_to_chrome_trace,
+    spans_to_jsonl,
+    top_spans_by_layer,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.telemetry.registry import (
+    REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+)
+from repro.telemetry.stats import percentile
+from repro.telemetry.trace import (
+    DEQUEUED_AT_KEY,
+    ENQUEUED_AT_KEY,
+    TRACE_KEY,
+    TRACER,
+    Span,
+    TraceContext,
+    Tracer,
+    disable,
+    enable,
+    enabled,
+    get_tracer,
+)
+
+__all__ = [
+    "DEQUEUED_AT_KEY",
+    "ENQUEUED_AT_KEY",
+    "REGISTRY",
+    "TRACE_KEY",
+    "TRACER",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "TraceContext",
+    "Tracer",
+    "disable",
+    "enable",
+    "enabled",
+    "get_registry",
+    "get_tracer",
+    "load_jsonl",
+    "percentile",
+    "render_flame_table",
+    "spans_to_chrome_trace",
+    "spans_to_jsonl",
+    "top_spans_by_layer",
+    "write_chrome_trace",
+    "write_jsonl",
+]

@@ -1,0 +1,150 @@
+"""Span exporters: JSONL dumps, Chrome ``trace_event`` files, flame tables.
+
+Three consumers of the tracer's span buffer:
+
+* :func:`spans_to_jsonl` / :func:`write_jsonl` — one JSON object per line,
+  the archival format replayed by ``stacksync-repro telemetry --load``;
+* :func:`spans_to_chrome_trace` / :func:`write_chrome_trace` — the Chrome
+  ``trace_event`` JSON consumed by ``about:tracing`` and Perfetto: every
+  span becomes a complete (``"ph": "X"``) event, rows are grouped per
+  layer so the sync path reads top-to-bottom as
+  client → proxy → queue → skeleton → sync → metadata → storage;
+* :func:`top_spans_by_layer` / :func:`render_flame_table` — the "where did
+  the time go" report printed by the CLI.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Sequence
+
+from repro.telemetry.trace import Span
+
+#: Canonical row order for the sync path in trace viewers; unknown layers
+#: sort after these, alphabetically.
+LAYER_ORDER = [
+    "bench",
+    "client",
+    "proxy",
+    "queue",
+    "skeleton",
+    "sync",
+    "metadata",
+    "storage",
+]
+
+
+def _layer_rank(layer: str) -> tuple:
+    try:
+        return (LAYER_ORDER.index(layer), "")
+    except ValueError:
+        return (len(LAYER_ORDER), layer)
+
+
+# -- JSONL ---------------------------------------------------------------------
+
+
+def spans_to_jsonl(spans: Iterable[Span]) -> str:
+    return "".join(json.dumps(span.to_dict(), sort_keys=True) + "\n" for span in spans)
+
+
+def write_jsonl(spans: Iterable[Span], path: str) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(spans_to_jsonl(spans))
+
+
+def load_jsonl(path: str) -> List[Span]:
+    spans: List[Span] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            data = json.loads(line)
+            data.pop("duration", None)
+            spans.append(Span(**data))
+    return spans
+
+
+# -- Chrome trace_event --------------------------------------------------------
+
+
+def spans_to_chrome_trace(spans: Sequence[Span]) -> Dict:
+    """Convert spans to the Chrome ``trace_event`` JSON object format.
+
+    Timestamps are microseconds; each layer gets its own ``tid`` with a
+    ``thread_name`` metadata record so Perfetto renders one labeled row
+    per layer.
+    """
+    layers = sorted({span.layer for span in spans}, key=_layer_rank)
+    tid_of = {layer: index + 1 for index, layer in enumerate(layers)}
+    events: List[Dict] = [
+        {
+            "name": "thread_name",
+            "ph": "M",
+            "pid": 1,
+            "tid": tid,
+            "args": {"name": layer},
+        }
+        for layer, tid in tid_of.items()
+    ]
+    for span in spans:
+        args = {
+            "trace_id": span.trace_id,
+            "span_id": span.span_id,
+            "parent_id": span.parent_id,
+            "thread": span.thread,
+        }
+        args.update({k: str(v) for k, v in span.attrs.items()})
+        events.append(
+            {
+                "name": span.name,
+                "cat": span.layer,
+                "ph": "X",
+                "ts": span.start * 1e6,
+                "dur": span.duration * 1e6,
+                "pid": 1,
+                "tid": tid_of[span.layer],
+                "args": args,
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(spans: Sequence[Span], path: str) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(spans_to_chrome_trace(spans), fh)
+
+
+# -- flame tables --------------------------------------------------------------
+
+
+def top_spans_by_layer(
+    spans: Iterable[Span], top_n: int = 5
+) -> Dict[str, List[Span]]:
+    """The *top_n* slowest spans of every layer, slowest first."""
+    by_layer: Dict[str, List[Span]] = {}
+    for span in spans:
+        by_layer.setdefault(span.layer, []).append(span)
+    return {
+        layer: sorted(group, key=lambda s: s.duration, reverse=True)[:top_n]
+        for layer, group in sorted(by_layer.items(), key=lambda kv: _layer_rank(kv[0]))
+    }
+
+
+def render_flame_table(spans: Sequence[Span], top_n: int = 5) -> str:
+    """Human-readable per-layer summary with the slowest spans inline."""
+    lines: List[str] = []
+    for layer, slowest in top_spans_by_layer(spans, top_n).items():
+        total = sum(s.duration for s in slowest)
+        count = sum(1 for s in spans if s.layer == layer)
+        lines.append(f"[{layer}] {count} span(s)")
+        for span in slowest:
+            lines.append(
+                f"  {span.duration * 1000:9.3f} ms  {span.name}"
+                f"  (trace {span.trace_id[:8]})"
+            )
+        if not slowest:
+            lines.append("  (no spans)")
+        lines.append(f"  top-{len(slowest)} total: {total * 1000:.3f} ms")
+    return "\n".join(lines)

@@ -1,0 +1,110 @@
+"""Concurrent ObjectInfo updates: counts and Welford stats stay race-free."""
+
+from __future__ import annotations
+
+import statistics
+import threading
+
+import pytest
+
+from repro.objectmq import Broker, Remote, remote_interface, sync_method
+from repro.objectmq.introspection import ObjectInfo
+
+
+def test_direct_concurrent_updates_are_exact():
+    """N threads hammer one ObjectInfo; every counter and moment is exact."""
+    info = ObjectInfo("svc", "svc.inst.1")
+    thread_count, per_thread = 8, 500
+
+    def hammer(index: int) -> None:
+        service_time = 0.001 * (index + 1)
+        for i in range(per_thread):
+            info.invocation_started()
+            info.invocation_finished(service_time, error=(i % 10 == 0))
+
+    threads = [
+        threading.Thread(target=hammer, args=(index,))
+        for index in range(thread_count)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    snapshot = info.snapshot()
+    assert snapshot.processed == thread_count * per_thread
+    assert snapshot.errors == thread_count * (per_thread // 10)
+    assert not snapshot.busy
+
+    values = [
+        0.001 * (index + 1)
+        for index in range(thread_count)
+        for _ in range(per_thread)
+    ]
+    assert snapshot.mean_service_time == pytest.approx(statistics.fmean(values))
+    assert snapshot.service_time_variance == pytest.approx(
+        statistics.variance(values)
+    )
+
+
+class _Target:
+    def ok(self):
+        return "ok"
+
+    def boom(self):
+        raise RuntimeError("boom")
+
+
+@remote_interface
+class _TargetApi(Remote):
+    @sync_method(timeout=10.0)
+    def ok(self):
+        ...
+
+    @sync_method(timeout=10.0)
+    def boom(self):
+        ...
+
+
+def test_skeleton_object_info_under_concurrent_clients(mom):
+    """Hammer one skeleton from N client threads; counts stay consistent."""
+    server = Broker(mom)
+    skeleton = server.bind("hammer", _Target())
+    thread_count, per_thread = 6, 25
+    failures = []
+
+    def client_thread() -> None:
+        client = Broker(mom)
+        try:
+            proxy = client.lookup("hammer", _TargetApi)
+            for i in range(per_thread):
+                if i % 5 == 0:
+                    try:
+                        proxy.boom()
+                    except Exception:  # noqa: BLE001 - remote error expected
+                        pass
+                    else:
+                        failures.append("boom did not raise")
+                else:
+                    if proxy.ok() != "ok":
+                        failures.append("bad reply")
+        except Exception as exc:  # noqa: BLE001 - surfaced after join
+            failures.append(repr(exc))
+        finally:
+            client.close()
+
+    threads = [threading.Thread(target=client_thread) for _ in range(thread_count)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    try:
+        assert failures == []
+        snapshot = skeleton.object_info.snapshot()
+        assert snapshot.processed == thread_count * per_thread
+        assert snapshot.errors == thread_count * (per_thread // 5)
+        assert snapshot.mean_service_time >= 0.0
+        assert snapshot.service_time_variance >= 0.0
+        assert not snapshot.busy
+    finally:
+        server.close()

@@ -77,3 +77,28 @@ def test_pool_observation_zero_instances():
         service_time_variance=0.0,
     )
     assert observation.utilization == float("inf")
+
+
+def test_snapshot_captured_at_is_monotonic_stamp():
+    info = ObjectInfo("svc", "i")
+    snapshot = info.snapshot()
+    assert snapshot.captured_at is not None
+    assert snapshot.age(now=snapshot.captured_at + 3.0) == pytest.approx(3.0)
+    # Clock never runs backwards for age purposes.
+    assert snapshot.age(now=snapshot.captured_at - 1.0) == 0.0
+
+
+def test_snapshot_staleness_horizon():
+    snapshot = ObjectInfo("svc", "i").snapshot()
+    assert not snapshot.is_stale(5.0, now=snapshot.captured_at + 4.9)
+    assert snapshot.is_stale(5.0, now=snapshot.captured_at + 5.1)
+
+
+def test_unstamped_snapshot_is_always_stale():
+    """A pre-telemetry peer that cannot say when it measured is ignored."""
+    data = ObjectInfo("svc", "i").snapshot().to_wire()
+    data.pop("captured_at")  # what an old peer would send
+    snapshot = ObjectInfoSnapshot.from_wire(data)
+    assert snapshot.captured_at is None
+    assert snapshot.age() == 0.0
+    assert snapshot.is_stale(1e9)

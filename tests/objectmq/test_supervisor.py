@@ -148,3 +148,74 @@ def test_observation_includes_instance_snapshots(fleet):
     assert observation.instance_count == 2
     assert len(observation.instances) == 2
     assert all(s.oid == "worker" for s in observation.instances)
+
+
+class _StubFleet:
+    """Hands the Supervisor canned ObjectInfo wire snapshots."""
+
+    def __init__(self, snapshots):
+        self.snapshots = snapshots
+
+    def get_object_info(self, oid):
+        return [[s.to_wire() for s in self.snapshots]]
+
+    def ping(self):
+        return ["stub-broker"]
+
+
+def _snapshot(instance, captured_at):
+    from repro.objectmq.introspection import ObjectInfoSnapshot
+
+    return ObjectInfoSnapshot(
+        oid="worker",
+        instance_id=instance,
+        broker_id="stub-broker",
+        processed=10,
+        errors=0,
+        busy=False,
+        mean_service_time=0.05,
+        service_time_variance=0.0,
+        last_invocation_at=None,
+        uptime=1.0,
+        captured_at=captured_at,
+    )
+
+
+def test_supervisor_ignores_stale_snapshots(fleet):
+    _mom, _rbrokers, sup_broker = fleet
+    supervisor = Supervisor(
+        sup_broker, "worker", FixedProvisioner(1), snapshot_horizon=5.0
+    )
+    now = time.monotonic()
+    supervisor.fleet = _StubFleet([
+        _snapshot("fresh", captured_at=now),
+        _snapshot("stale", captured_at=now - 60.0),
+        _snapshot("unstamped", captured_at=None),
+    ])
+    observation = supervisor.observe()
+    assert observation.instance_count == 1
+    assert [s.instance_id for s in observation.instances] == ["fresh"]
+
+
+def test_supervisor_horizon_none_disables_filtering(fleet):
+    _mom, _rbrokers, sup_broker = fleet
+    supervisor = Supervisor(
+        sup_broker, "worker", FixedProvisioner(1), snapshot_horizon=None
+    )
+    now = time.monotonic()
+    supervisor.fleet = _StubFleet([
+        _snapshot("fresh", captured_at=now),
+        _snapshot("stale", captured_at=now - 3600.0),
+    ])
+    observation = supervisor.observe()
+    assert observation.instance_count == 2
+
+
+def test_supervisor_live_snapshots_are_fresh(fleet):
+    """Snapshots polled from a live fleet pass the default horizon."""
+    _mom, _rbrokers, sup_broker = fleet
+    supervisor = Supervisor(sup_broker, "worker", FixedProvisioner(2))
+    supervisor.step()
+    observation = supervisor.observe()
+    assert observation.instance_count == 2
+    assert all(s.captured_at is not None for s in observation.instances)

@@ -1,0 +1,100 @@
+"""Exporters: JSONL round-trip, Chrome trace_event format, flame tables."""
+
+from __future__ import annotations
+
+import json
+
+from repro.telemetry.export import (
+    load_jsonl,
+    render_flame_table,
+    spans_to_chrome_trace,
+    spans_to_jsonl,
+    top_spans_by_layer,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.telemetry.trace import Span
+
+
+def make_span(name, layer, start, end, parent_id=None, trace_id="t1", **attrs):
+    return Span(
+        name=name,
+        layer=layer,
+        trace_id=trace_id,
+        span_id=f"id-{name}",
+        parent_id=parent_id,
+        start=start,
+        end=end,
+        thread="MainThread",
+        attrs=attrs,
+    )
+
+
+SPANS = [
+    make_span("client.put_file", "client", 1.0, 1.5, nbytes=100),
+    make_span("proxy.cast", "proxy", 1.1, 1.2, parent_id="id-client.put_file"),
+    make_span("queue.wait", "queue", 1.2, 1.25, parent_id="id-proxy.cast"),
+    make_span("storage.put_chunk", "storage", 1.3, 1.45),
+]
+
+
+def test_jsonl_round_trip(tmp_path):
+    path = tmp_path / "spans.jsonl"
+    write_jsonl(SPANS, str(path))
+    assert load_jsonl(str(path)) == SPANS
+
+
+def test_jsonl_one_object_per_line():
+    lines = spans_to_jsonl(SPANS).strip().split("\n")
+    assert len(lines) == len(SPANS)
+    parsed = json.loads(lines[0])
+    assert parsed["name"] == "client.put_file"
+    assert parsed["duration"] == 0.5
+
+
+def test_chrome_trace_structure():
+    doc = spans_to_chrome_trace(SPANS)
+    assert set(doc) == {"traceEvents", "displayTimeUnit"}
+    events = doc["traceEvents"]
+    metadata = [e for e in events if e["ph"] == "M"]
+    complete = [e for e in events if e["ph"] == "X"]
+    # One thread_name row per layer, one complete event per span.
+    assert {e["args"]["name"] for e in metadata} == {
+        "client", "proxy", "queue", "storage",
+    }
+    assert len(complete) == len(SPANS)
+    put = next(e for e in complete if e["name"] == "client.put_file")
+    assert put["ts"] == 1.0e6 and put["dur"] == 0.5e6  # microseconds
+    assert put["cat"] == "client"
+    assert put["args"]["trace_id"] == "t1"
+    assert put["args"]["nbytes"] == "100"
+    # Layer rows follow the canonical sync-path order.
+    tid_by_layer = {e["args"]["name"]: e["tid"] for e in metadata}
+    assert (
+        tid_by_layer["client"]
+        < tid_by_layer["proxy"]
+        < tid_by_layer["queue"]
+        < tid_by_layer["storage"]
+    )
+
+
+def test_chrome_trace_file_is_valid_json(tmp_path):
+    path = tmp_path / "trace.json"
+    write_chrome_trace(SPANS, str(path))
+    with open(path) as fh:
+        doc = json.load(fh)
+    assert isinstance(doc["traceEvents"], list)
+
+
+def test_top_spans_by_layer():
+    spans = SPANS + [make_span("client.flush", "client", 2.0, 2.1)]
+    top = top_spans_by_layer(spans, top_n=1)
+    assert [s.name for s in top["client"]] == ["client.put_file"]  # slowest
+    assert list(top) == ["client", "proxy", "queue", "storage"]
+
+
+def test_render_flame_table():
+    text = render_flame_table(SPANS, top_n=2)
+    assert "[client] 1 span(s)" in text
+    assert "client.put_file" in text
+    assert "500.000 ms" in text
