@@ -24,6 +24,7 @@ from conftest import (
 from test_fig8ab_autoscaling import build_combined
 
 from repro.bench import render_table
+from repro.bench.reporting import render_provisioning_timeline
 from repro.elasticity import PAPER_PARAMETERS, PredictiveProvisioner, ReactiveProvisioner
 from repro.objectmq.provisioner import (
     FixedProvisioner,
@@ -31,6 +32,7 @@ from repro.objectmq.provisioner import (
     UtilizationProvisioner,
 )
 from repro.simulation import AutoscaleSimulation, SimConfig
+from repro.telemetry import KIND_DECISION, DecisionJournal, load_journal_lines
 
 
 def instance_hours(result):
@@ -70,7 +72,12 @@ def run_policies(ub1):
     }
     results = {}
     for name, policy in policies.items():
-        results[name] = AutoscaleSimulation(day8, policy, config).run()
+        # Every run journals its control plane, so any policy's scaling
+        # decisions can be audited (and rendered) after the fact.
+        journal = DecisionJournal()
+        results[name] = AutoscaleSimulation(
+            day8, policy, config, journal=journal
+        ).run()
     return results
 
 
@@ -116,3 +123,32 @@ def test_ablation_provisioning(benchmark, ub1):
     # Elastic policies all undercut static peak provisioning.
     for name in ("predictive-only", "reactive-only", "pred+reactive"):
         assert instance_hours(results[name]) < instance_hours(peak)
+
+    # -- decision-journal audit (the observability acceptance criterion) --
+    # Every capacity action in every run must be attributable: it points
+    # at a decision event carrying a non-empty policy reason.
+    for name, result in results.items():
+        journal = result.journal
+        assert journal is not None and len(journal.decisions()) > 0
+        decision_seqs = {d.seq for d in journal.decisions()}
+        for action in journal.actions():
+            assert action.data["decision_seq"] in decision_seqs, name
+            assert action.data["policy_reason"].strip(), name
+        for decision in journal.decisions():
+            assert decision.data["reason"].strip(), name
+
+    # The journal round-trips through JSONL and regenerates the Fig-8
+    # provisioning timeline offline (what `stacksync-repro timeline` does).
+    combined_journal = combined.journal
+    events = load_journal_lines(combined_journal.to_jsonl().splitlines())
+    assert len(events) == len(combined_journal.events())
+    timeline = render_provisioning_timeline([e.to_dict() for e in events])
+    assert "Pool size over time" in timeline
+    assert "lam_obs" in timeline
+    print("\nCombined-policy provisioning timeline (from the decision journal):")
+    print(timeline)
+    decisions = [e for e in events if e.kind == KIND_DECISION]
+    print(
+        f"journal: {len(events)} event(s), {len(decisions)} decision(s), "
+        f"{sum(1 for e in events if e.kind in ('spawn', 'shutdown'))} action(s)"
+    )

@@ -104,6 +104,165 @@ def render_cdf(
     return "\n".join(lines)
 
 
+def render_dual_series(
+    title: str,
+    series_a: Sequence[Tuple[float, float]],
+    series_b: Sequence[Tuple[float, float]],
+    label_a: str = "a",
+    label_b: str = "b",
+    width: int = 72,
+    height: int = 12,
+    x_label: str = "",
+) -> str:
+    """Two overlaid (x, y) series on a shared scale: ``*`` vs ``o``.
+
+    Cells where both series land render ``@``.  Used for the Fig 8(c)
+    λ_obs vs λ_pred comparison and for census vs desired pool size.
+    """
+    if not series_a and not series_b:
+        return f"{title}\n  (no data)"
+    xs = [p[0] for p in series_a] + [p[0] for p in series_b]
+    ys = [p[1] for p in series_a] + [p[1] for p in series_b]
+    x_min, x_max = min(xs), max(xs)
+    y_min, y_max = min(ys), max(ys)
+    if x_max == x_min:
+        x_max = x_min + 1
+    if y_max == y_min:
+        y_max = y_min + 1
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def plot(points: Sequence[Tuple[float, float]], glyph: str) -> None:
+        for x, y in points:
+            col = int((x - x_min) / (x_max - x_min) * (width - 1))
+            row = int((y - y_min) / (y_max - y_min) * (height - 1))
+            cell = grid[height - 1 - row][col]
+            grid[height - 1 - row][col] = glyph if cell in (" ", glyph) else "@"
+
+    plot(series_a, "*")
+    plot(series_b, "o")
+
+    lines = [title, f"  [*={label_a}  o={label_b}  @=both]"]
+    for i, row in enumerate(grid):
+        if i == 0:
+            label = f"{y_max:10.2f} |"
+        elif i == height - 1:
+            label = f"{y_min:10.2f} |"
+        else:
+            label = " " * 10 + " |"
+        lines.append(label + "".join(row))
+    lines.append(" " * 11 + "+" + "-" * width)
+    lines.append(
+        " " * 11 + f"{x_min:<12.1f}{x_label:^{max(0, width - 24)}}{x_max:>12.1f}"
+    )
+    return "\n".join(lines)
+
+
+def render_provisioning_timeline(
+    events: Sequence[Dict[str, object]],
+    width: int = 72,
+    height: int = 10,
+    max_actions: int = 40,
+) -> str:
+    """Fig-8-style report of one run's scaling-decision journal.
+
+    Takes the flattened event dicts of a
+    :class:`~repro.telemetry.control.DecisionJournal` (live objects via
+    ``journal.to_dict()``-style flattening, or loaded back from a JSONL
+    file) and renders:
+
+    * pool size over time — census vs desired (Fig 8a/8d),
+    * λ_obs vs λ_pred over time (Fig 8c),
+    * every spawn/shutdown action with its reason and the policy reason
+      of the decision that caused it,
+    * alert fired/resolved markers from the SLO engine.
+    """
+    decisions = [e for e in events if e.get("kind") == "decision"]
+    actions = [e for e in events if e.get("kind") in ("spawn", "shutdown")]
+    alerts = [
+        e for e in events if e.get("kind") in ("alert-fired", "alert-resolved")
+    ]
+    sections: List[str] = []
+
+    census = [(float(d["timestamp"]), float(d["census"])) for d in decisions]
+    desired = [(float(d["timestamp"]), float(d["desired"])) for d in decisions]
+    sections.append(
+        render_dual_series(
+            "Pool size over time (Fig 8a)",
+            census,
+            desired,
+            label_a="census",
+            label_b="desired",
+            width=width,
+            height=height,
+            x_label="time (s)",
+        )
+    )
+
+    lam_obs = [(float(d["timestamp"]), float(d["lam_obs"])) for d in decisions]
+    lam_pred = [(float(d["timestamp"]), float(d["lam_pred"])) for d in decisions]
+    sections.append(
+        render_dual_series(
+            "Arrival rate: observed vs predicted (Fig 8c)",
+            lam_obs,
+            lam_pred,
+            label_a="lam_obs",
+            label_b="lam_pred",
+            width=width,
+            height=height,
+            x_label="time (s)",
+        )
+    )
+
+    if actions:
+        rows = [
+            [
+                f"{float(a['timestamp']):.1f}",
+                str(a["kind"]),
+                str(a.get("reason", "")),
+                _truncate(str(a.get("policy_reason", "")), 60),
+            ]
+            for a in actions[:max_actions]
+        ]
+        sections.append(
+            "Scaling actions"
+            + (
+                f" (first {max_actions} of {len(actions)})"
+                if len(actions) > max_actions
+                else f" ({len(actions)})"
+            )
+            + ":\n"
+            + render_table(["t (s)", "action", "reason", "decision"], rows)
+        )
+    else:
+        sections.append("Scaling actions: none")
+
+    if alerts:
+        rows = [
+            [
+                f"{float(a['timestamp']):.1f}",
+                str(a["kind"]),
+                str(a.get("rule", "")),
+                str(a.get("severity", "")),
+                f"{a.get('series', '')} {a.get('op', '')} "
+                f"{a.get('threshold', '')} (value={a.get('value', '')})",
+            ]
+            for a in alerts
+        ]
+        sections.append(
+            f"SLO alerts ({len(alerts)}):\n"
+            + render_table(["t (s)", "event", "rule", "severity", "condition"], rows)
+        )
+    else:
+        sections.append("SLO alerts: none")
+
+    return "\n\n".join(sections)
+
+
+def _truncate(text: str, limit: int) -> str:
+    return text if len(text) <= limit else text[: limit - 3] + "..."
+
+
 def mb(nbytes: float) -> float:
     """Bytes → megabytes (SI-ish, as the paper reports)."""
     return nbytes / (1024 * 1024)

@@ -10,7 +10,13 @@ Installed as ``stacksync-repro`` (see pyproject); also runnable as
 * ``demo``        — run the in-process two-device sync demo;
 * ``telemetry``   — replay a small trace with tracing on and print the
   top-N slowest spans per layer (optionally exporting JSONL / Chrome
-  ``trace_event`` files and a metrics snapshot).
+  ``trace_event`` files and a metrics snapshot);
+* ``ops``         — boot the elastic SyncService demo stack with the ops
+  endpoint (``/metrics`` ``/health`` ``/ready`` ``/events`` ``/slo``),
+  a scaling-decision journal, and the SLO alert engine;
+* ``top``         — live terminal view of a running ops endpoint;
+* ``timeline``    — render a Fig-8-style provisioning timeline from a
+  decision-journal JSONL file.
 """
 
 from __future__ import annotations
@@ -178,6 +184,196 @@ def _cmd_telemetry(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_ops(args: argparse.Namespace) -> int:
+    import random
+    import threading
+    import time
+
+    from repro.elasticity import PAPER_PARAMETERS, ReactiveProvisioner, SlaParameters
+    from repro.metadata import MemoryMetadataBackend
+    from repro.mom import MessageBroker
+    from repro.objectmq import Broker, RemoteBroker, Supervisor
+    from repro.sync import (
+        SYNC_SERVICE_OID,
+        SyncServiceApi,
+        Workspace,
+        sync_service_factory,
+    )
+    from repro.sync.models import ItemMetadata
+    from repro.telemetry import DecisionJournal, OpsServer, SloEngine, default_rules
+
+    journal = DecisionJournal(path=args.journal)
+    slo = SloEngine(default_rules(), journal=journal)
+    ops = OpsServer(journal=journal, slo=slo, port=args.port).start()
+    if args.port_file:
+        with open(args.port_file, "w", encoding="utf-8") as fh:
+            fh.write(str(ops.port))
+    print(f"ops endpoint: {ops.url}")
+    print("routes: /metrics /health /ready /events /slo")
+
+    mom = MessageBroker()
+    metadata = MemoryMetadataBackend()
+    metadata.create_user("load")
+    metadata.create_workspace(Workspace(workspace_id="ws-load", owner="load"))
+
+    machines = []
+    for name in ("machine-a", "machine-b"):
+        broker = Broker(mom)
+        rbroker = RemoteBroker(broker, broker_name=name)
+        rbroker.register_factory(
+            SYNC_SERVICE_OID,
+            sync_service_factory(metadata, broker, service_delay=lambda: 0.02),
+        )
+        rbroker.serve()
+        machines.append(rbroker)
+
+    params = SlaParameters(d=0.2, s=0.02, sigma_b2=PAPER_PARAMETERS.sigma_b2)
+    sup_broker = Broker(mom)
+    supervisor = Supervisor(
+        sup_broker,
+        SYNC_SERVICE_OID,
+        ReactiveProvisioner(predictive=None, params=params),
+        control_interval=0.5,
+        max_instances=8,
+        journal=journal,
+    )
+    supervisor.set_heartbeat_callback(slo.evaluate)
+    supervisor.step()
+    supervisor.start()
+
+    client_broker = Broker(mom)
+    proxy = client_broker.lookup(SYNC_SERVICE_OID, SyncServiceApi)
+    stop = threading.Event()
+
+    def generate() -> None:
+        counter = 0
+        rng = random.Random(1)
+        while not stop.is_set():
+            counter += 1
+            item = ItemMetadata(
+                item_id=f"ws-load:f{counter}",
+                workspace_id="ws-load",
+                version=1,
+                filename=f"f{counter}",
+                device_id="loadgen",
+            )
+            try:
+                proxy.commit_request("ws-load", "loadgen", [item])
+            except Exception:
+                if stop.is_set():
+                    break
+                raise
+            time.sleep(rng.expovariate(args.rate))
+
+    generator = threading.Thread(target=generate, daemon=True)
+    generator.start()
+
+    try:
+        deadline = time.time() + args.duration if args.duration > 0 else None
+        while deadline is None or time.time() < deadline:
+            time.sleep(0.2)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        stop.set()
+        generator.join(timeout=2)
+        supervisor.stop()
+        for machine in machines:
+            machine.stop()
+        client_broker.close()
+        sup_broker.close()
+        mom.close()
+        ops.stop()
+        journal.close()
+    print(
+        f"run complete: {len(journal.decisions())} decision(s), "
+        f"{len(journal.actions())} action(s), {len(journal.alerts())} alert edge(s)"
+        + (f"; journal at {args.journal}" if args.journal else "")
+    )
+    return 0
+
+
+def _fetch_json(url: str):
+    import json
+    import urllib.request
+
+    with urllib.request.urlopen(url, timeout=5) as response:
+        return json.loads(response.read().decode("utf-8"))
+
+
+def _render_top(base_url: str) -> str:
+    health = _fetch_json(base_url + "/health")
+    slo = _fetch_json(base_url + "/slo")
+    events = _fetch_json(base_url + "/events?n=8")
+
+    lines = [f"stacksync-repro top — {base_url}", ""]
+    lines.append(f"health: {health['status']}")
+    for component in health["components"]:
+        mark = "ok " if component["ok"] else "FAIL"
+        detail = ", ".join(
+            f"{k}={v}" for k, v in sorted(component["detail"].items())
+        )
+        lines.append(f"  [{mark}] {component['component']:<22s} {detail}")
+
+    lines.append("")
+    active = slo["active"]
+    lines.append(f"alerts: {', '.join(active) if active else 'none active'}")
+    for rule in slo["rules"]:
+        state = "FIRING" if rule["active"] else "ok"
+        value = rule["last_value"]
+        value_text = "n/a" if value is None else f"{value:g}"
+        lines.append(
+            f"  [{state:>6s}] {rule['definition']} (last={value_text}, "
+            f"streak={rule['streak']})"
+        )
+
+    lines.append("")
+    lines.append(f"journal: {events['total']} event(s); last {len(events['events'])}:")
+    for event in events["events"]:
+        summary = event.get("reason") or event.get("rule") or ""
+        extra = event.get("policy_reason") or event.get("series") or ""
+        if extra and extra != summary:
+            summary = f"{summary}: {extra}" if summary else extra
+        lines.append(
+            f"  t={event['timestamp']:.1f} #{event['seq']:<5d} "
+            f"{event['kind']:<14s} {summary[:80]}"
+        )
+    return "\n".join(lines)
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    import time
+
+    base_url = args.url.rstrip("/")
+    try:
+        if args.once:
+            print(_render_top(base_url))
+            return 0
+        while True:
+            print("\033[2J\033[H" + _render_top(base_url), flush=True)
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
+    except OSError as exc:
+        print(f"cannot reach ops endpoint at {base_url}: {exc}", file=sys.stderr)
+        return 1
+
+
+def _cmd_timeline(args: argparse.Namespace) -> int:
+    from repro.bench.reporting import render_provisioning_timeline
+    from repro.telemetry import load_journal_lines
+
+    with open(args.journal, "r", encoding="utf-8") as fh:
+        events = load_journal_lines(fh)
+    if not events:
+        print(f"no journal events in {args.journal}", file=sys.stderr)
+        return 1
+    print(render_provisioning_timeline(
+        [e.to_dict() for e in events], max_actions=args.max_actions
+    ))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="stacksync-repro",
@@ -242,13 +438,63 @@ def build_parser() -> argparse.ArgumentParser:
         help="also print the unified metrics registry snapshot",
     )
     telemetry.set_defaults(func=_cmd_telemetry)
+
+    ops = sub.add_parser(
+        "ops",
+        help="boot the elastic demo stack with the ops endpoint + journal",
+    )
+    ops.add_argument("--port", type=int, default=0, help="0 = ephemeral port")
+    ops.add_argument(
+        "--duration", type=float, default=10.0,
+        help="seconds to run (0 = until Ctrl-C)",
+    )
+    ops.add_argument(
+        "--rate", type=float, default=40.0, help="commit load, requests/second"
+    )
+    ops.add_argument(
+        "--journal", metavar="PATH",
+        help="also append the decision journal to this JSONL file",
+    )
+    ops.add_argument(
+        "--port-file", metavar="PATH",
+        help="write the bound port here (for scripts using --port 0)",
+    )
+    ops.set_defaults(func=_cmd_ops)
+
+    top = sub.add_parser("top", help="live view of a running ops endpoint")
+    top.add_argument(
+        "--url", default="http://127.0.0.1:8787", help="ops endpoint base URL"
+    )
+    top.add_argument(
+        "--once", action="store_true", help="print one snapshot and exit"
+    )
+    top.add_argument("--interval", type=float, default=1.0)
+    top.set_defaults(func=_cmd_top)
+
+    timeline = sub.add_parser(
+        "timeline",
+        help="render a Fig-8-style provisioning timeline from a journal",
+    )
+    timeline.add_argument("journal", help="decision-journal JSONL file")
+    timeline.add_argument("--max-actions", type=int, default=40)
+    timeline.set_defaults(func=_cmd_timeline)
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Downstream consumer (e.g. `| head`) closed the pipe: not an error.
+        import os
+
+        try:
+            os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        except OSError:
+            pass
+        return 0
 
 
 if __name__ == "__main__":

@@ -111,12 +111,18 @@ class PredictiveProvisioner(Provisioner):
         ca2 = self.model.ca2_from(
             observation.interarrival_variance, observation.arrival_rate
         )
-        return self.model.instances_for(
+        proposal = self.model.instances_for(
             lam,
             ca2=ca2,
             s=self._monitored_s,
             sigma_b2=self._monitored_sigma_b2,
         )
+        self.last_reason = (
+            f"lam_pred={lam:.2f}/s (p{self.history_percentile * 100:.0f} of "
+            f"period {self.period_index(observation.timestamp)} history) -> "
+            f"eta={proposal} by eq. (2)"
+        )
+        return proposal
 
     def reset(self) -> None:
         self._history.clear()

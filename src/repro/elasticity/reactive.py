@@ -46,12 +46,16 @@ class ReactiveProvisioner(Provisioner):
         self._monitored_sigma_b2: Optional[float] = None
         self.last_triggered = False
 
-    def deviation_detected(self, lam_obs: float, lam_pred: float) -> bool:
-        """True when λ_obs/λ_pred leaves the [1-τ₂, 1+τ₁] band."""
+    def deviation_detected(self, lam_obs: float, lam_pred: float) -> Optional[str]:
+        """Which threshold λ_obs/λ_pred breached: "tau1", "tau2", or None."""
         if lam_pred <= 0:
-            return lam_obs > 0
+            return "tau1" if lam_obs > 0 else None
         ratio = lam_obs / lam_pred
-        return ratio > 1.0 + self.params.tau_1 or ratio < 1.0 - self.params.tau_2
+        if ratio > 1.0 + self.params.tau_1:
+            return "tau1"
+        if ratio < 1.0 - self.params.tau_2:
+            return "tau2"
+        return None
 
     def propose(self, observation: PoolObservation) -> int:
         if observation.mean_service_time > 0:
@@ -65,23 +69,45 @@ class ReactiveProvisioner(Provisioner):
             if self.predictive is not None
             else 0.0
         )
-        self.last_triggered = self.deviation_detected(lam_obs, lam_pred)
+        self.last_threshold = self.deviation_detected(lam_obs, lam_pred)
+        self.last_triggered = self.last_threshold is not None
         if not self.last_triggered:
             # No correction needed: endorse the current pool size.
+            self.last_reason = (
+                f"lam_obs={lam_obs:.2f}/s within "
+                f"[1-tau2, 1+tau1] of lam_pred={lam_pred:.2f}/s: "
+                f"endorse current pool of {observation.instance_count}"
+            )
             return observation.instance_count
 
         ca2 = self.model.ca2_from(observation.interarrival_variance, lam_obs)
-        return self.model.instances_for(
+        proposal = self.model.instances_for(
             lam_obs,
             ca2=ca2,
             s=self._monitored_s,
             sigma_b2=self._monitored_sigma_b2,
         )
+        if self.last_threshold == "tau1":
+            band = (
+                f"> (1+tau1={1.0 + self.params.tau_1:.2f}) x "
+                f"lam_pred={lam_pred:.2f}/s"
+            )
+        else:
+            band = (
+                f"< (1-tau2={1.0 - self.params.tau_2:.2f}) x "
+                f"lam_pred={lam_pred:.2f}/s"
+            )
+        self.last_reason = (
+            f"lam_obs={lam_obs:.2f}/s {band}: resize from lam_obs, "
+            f"eta={proposal} by eq. (2)"
+        )
+        return proposal
 
     def reset(self) -> None:
         self._monitored_s = None
         self._monitored_sigma_b2 = None
         self.last_triggered = False
+        self.last_threshold = None
 
 
 class CombinedProvisioner(Provisioner):
@@ -121,6 +147,9 @@ class CombinedProvisioner(Provisioner):
         self._last_reactive_at: Optional[float] = None
         self._predictive_proposal = 0
         self._reactive_proposal: Optional[int] = None
+        self._predictive_reason = ""
+        self._reactive_reason = ""
+        self._reactive_threshold: Optional[str] = None
 
     def propose(self, observation: PoolObservation) -> int:
         now = observation.timestamp
@@ -131,6 +160,7 @@ class CombinedProvisioner(Provisioner):
             if self.online_learning and observation.arrival_rate > 0:
                 self.predictive.observe_rate(now, observation.arrival_rate)
             self._predictive_proposal = self.predictive.propose(observation)
+            self._predictive_reason = self.predictive.last_reason
             self._last_predictive_at = now
         if self._last_reactive_at is None:
             # The reactive policy runs on its own cadence and fires for
@@ -141,10 +171,21 @@ class CombinedProvisioner(Provisioner):
             self._last_reactive_at = now
         elif now - self._last_reactive_at >= self.reactive_interval:
             proposal = self.reactive.propose(observation)
-            self._reactive_proposal = proposal if self.reactive.last_triggered else None
+            if self.reactive.last_triggered:
+                self._reactive_proposal = proposal
+                self._reactive_reason = self.reactive.last_reason
+                self._reactive_threshold = self.reactive.last_threshold
+            else:
+                self._reactive_proposal = None
+                self._reactive_reason = ""
+                self._reactive_threshold = None
             self._last_reactive_at = now
         if self._reactive_proposal is not None:
+            self.last_reason = f"reactive override: {self._reactive_reason}"
+            self.last_threshold = self._reactive_threshold
             return self._reactive_proposal
+        self.last_reason = f"predictive baseline: {self._predictive_reason}"
+        self.last_threshold = None
         return self._predictive_proposal
 
     def reset(self) -> None:
@@ -154,3 +195,6 @@ class CombinedProvisioner(Provisioner):
         self._last_reactive_at = None
         self._predictive_proposal = 0
         self._reactive_proposal = None
+        self._predictive_reason = ""
+        self._reactive_reason = ""
+        self._reactive_threshold = None

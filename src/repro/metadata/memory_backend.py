@@ -13,6 +13,7 @@ from typing import Dict, List, Optional, Set
 from repro.errors import MetadataError, TransactionAborted, UnknownWorkspace
 from repro.metadata.base import MetadataBackend
 from repro.sync.models import STATUS_DELETED, ItemMetadata, Workspace
+from repro.telemetry.control import HEALTH
 
 
 class MemoryMetadataBackend(MetadataBackend):
@@ -26,6 +27,16 @@ class MemoryMetadataBackend(MetadataBackend):
         self._versions: Dict[str, List[ItemMetadata]] = {}  # item -> versions
         self._workspace_items: Dict[str, Set[str]] = {}
         self._devices: Dict[str, Dict[str, str]] = {}  # user -> {device: name}
+        HEALTH.register("metadata:memory", self, MemoryMetadataBackend._health_probe)
+
+    def _health_probe(self) -> Dict[str, object]:
+        """Ops-endpoint probe: the engine answers a trivial read."""
+        with self._lock:
+            return {
+                "ok": True,
+                "users": len(self._users),
+                "workspaces": len(self._workspaces),
+            }
 
     # -- accounts & workspaces ---------------------------------------------------
 

@@ -21,6 +21,7 @@ from typing import Dict, List, Optional
 from repro.errors import MetadataError, TransactionAborted, UnknownWorkspace
 from repro.metadata.base import MetadataBackend
 from repro.sync.models import STATUS_DELETED, ItemMetadata, Workspace
+from repro.telemetry.control import HEALTH
 
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS users (
@@ -73,6 +74,16 @@ class SqliteMetadataBackend(MetadataBackend):
             if path != ":memory:":
                 self._conn.execute("PRAGMA journal_mode=WAL")
             self._conn.executescript(_SCHEMA)
+        HEALTH.register("metadata:sqlite", self, SqliteMetadataBackend._health_probe)
+
+    def _health_probe(self) -> Dict[str, object]:
+        """Ops-endpoint probe: the database answers ``SELECT 1``."""
+        try:
+            with self._lock:
+                self._conn.execute("SELECT 1").fetchone()
+        except sqlite3.Error as exc:
+            return {"ok": False, "error": str(exc)}
+        return {"ok": True, "path": self.path}
 
     # -- accounts & workspaces ---------------------------------------------------
 

@@ -27,6 +27,7 @@ from repro.mom.exchange import EXCHANGE_TYPES, DirectExchange, Exchange
 from repro.mom.message import Delivery, Message
 from repro.mom.persistence import InMemoryMessageStore
 from repro.mom.queue import Consumer, MessageQueue
+from repro.telemetry.control import HEALTH
 from repro.telemetry.registry import REGISTRY
 
 #: Name of the implicit default exchange (direct; routing key == queue name).
@@ -92,6 +93,16 @@ class MessageBroker:
         REGISTRY.register_source(
             "mom_broker", self.stats, BrokerStats.snapshot, broker=name
         )
+        HEALTH.register(f"mom:{name}", self, MessageBroker._health_probe)
+
+    def _health_probe(self) -> Dict[str, object]:
+        """Ops-endpoint probe: the broker accepts publishes."""
+        with self._lock:
+            return {
+                "ok": not self._closed,
+                "queues": len(self._queues),
+                "exchanges": len(self._exchanges),
+            }
 
     # -- topology -------------------------------------------------------------
 

@@ -22,6 +22,16 @@ class Provisioner(ABC):
     #: Human-readable policy name, used in experiment reports.
     name = "provisioner"
 
+    #: Human-readable explanation of the latest proposal, written by
+    #: ``propose`` and journaled by the Supervisor's decision log so every
+    #: scaling action in a run is attributable ("why did the pool grow?").
+    last_reason: str = ""
+
+    #: Which reactive threshold fired on the latest proposal ("tau1",
+    #: "tau2", or None).  Only threshold-based policies set this; the
+    #: base value keeps journal code free of hasattr checks.
+    last_threshold: Optional[str] = None
+
     @abstractmethod
     def propose(self, observation: PoolObservation) -> int:
         """Return the number of instances this policy wants right now."""
@@ -41,6 +51,7 @@ class FixedProvisioner(Provisioner):
         self.instances = instances
 
     def propose(self, observation: PoolObservation) -> int:
+        self.last_reason = f"fixed target of {self.instances} instance(s)"
         return self.instances
 
 
@@ -66,9 +77,21 @@ class UtilizationProvisioner(Provisioner):
         current = max(1, observation.instance_count)
         utilization = observation.utilization
         if utilization > self.high:
+            self.last_reason = (
+                f"utilization {utilization:.2f} > high {self.high:.2f}: "
+                f"add one instance"
+            )
             return current + 1
         if utilization < self.low and current > 1:
+            self.last_reason = (
+                f"utilization {utilization:.2f} < low {self.low:.2f}: "
+                f"release one instance"
+            )
             return current - 1
+        self.last_reason = (
+            f"utilization {utilization:.2f} within "
+            f"[{self.low:.2f}, {self.high:.2f}]: hold at {current}"
+        )
         return current
 
 
@@ -95,19 +118,28 @@ class QueueDepthProvisioner(Provisioner):
 
     def propose(self, observation: PoolObservation) -> int:
         current = max(1, observation.instance_count)
-        needed = -(-observation.queue_depth // self.max_backlog_per_instance)  # ceil
+        depth = observation.queue_depth
+        needed = -(-depth // self.max_backlog_per_instance)  # ceil
         if needed > current:
+            self.last_reason = (
+                f"backlog {depth} needs {needed} instance(s) at "
+                f"{self.max_backlog_per_instance}/instance"
+            )
             return needed
         comfortable = -(
-            -observation.queue_depth
+            -depth
             // max(1, int(self.max_backlog_per_instance * self.shrink_fill))
         )
-        if observation.queue_depth == 0 and not any(
-            s.busy for s in observation.instances
-        ):
+        if depth == 0 and not any(s.busy for s in observation.instances):
             # Fully idle pool: release one instance per period.
+            self.last_reason = "queue empty and pool idle: release one instance"
             return max(1, current - 1)
-        return max(1, min(current, max(comfortable, 1)))
+        proposal = max(1, min(current, max(comfortable, 1)))
+        self.last_reason = (
+            f"backlog {depth} absorbable by {proposal} instance(s) at "
+            f"{self.shrink_fill:.0%} fill"
+        )
+        return proposal
 
 
 class MaxOfProvisioners(Provisioner):
@@ -127,7 +159,11 @@ class MaxOfProvisioners(Provisioner):
         self.name = "max(" + ",".join(p.name for p in self.provisioners) + ")"
 
     def propose(self, observation: PoolObservation) -> int:
-        return max(p.propose(observation) for p in self.provisioners)
+        proposals = [(p.propose(observation), p) for p in self.provisioners]
+        winning, winner = max(proposals, key=lambda pair: pair[0])
+        self.last_reason = f"max-of winner {winner.name}: {winner.last_reason}"
+        self.last_threshold = winner.last_threshold
+        return winning
 
     def reset(self) -> None:
         for provisioner in self.provisioners:
@@ -146,10 +182,14 @@ class BoundedProvisioner(Provisioner):
         self.name = f"bounded({inner.name})"
 
     def propose(self, observation: PoolObservation) -> int:
-        proposal = self.inner.propose(observation)
-        proposal = max(self.minimum, proposal)
+        raw = self.inner.propose(observation)
+        proposal = max(self.minimum, raw)
         if self.maximum is not None:
             proposal = min(self.maximum, proposal)
+        self.last_reason = self.inner.last_reason
+        if proposal != raw:
+            self.last_reason += f" (clamped {raw} -> {proposal})"
+        self.last_threshold = self.inner.last_threshold
         return proposal
 
     def reset(self) -> None:

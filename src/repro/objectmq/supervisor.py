@@ -22,13 +22,25 @@ from __future__ import annotations
 import logging
 import threading
 import time
+from collections import deque
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Deque, List, Optional, Tuple
 
 from repro.objectmq.broker import Broker
 from repro.objectmq.introspection import ObjectInfoSnapshot, PoolObservation
 from repro.objectmq.provisioner import Provisioner
 from repro.objectmq.remote_broker import REMOTE_BROKER_OID, RemoteBrokerApi
+from repro.telemetry.control import (
+    HEALTH,
+    KIND_DECISION,
+    KIND_SHUTDOWN,
+    KIND_SPAWN,
+    REASON_CRASH_REPAIR,
+    REASON_SCALE_DOWN,
+    REASON_SCALE_UP,
+    DecisionJournal,
+)
+from repro.telemetry.registry import REGISTRY
 
 logger = logging.getLogger(__name__)
 
@@ -41,16 +53,20 @@ class ArrivalMonitor:
     interarrival variance is estimated from the dispersion of per-sample
     counts (for a renewal process observed over windows of length w,
     Var[N(w)] ≈ w·σ_a²/μ_a³, giving σ_a² = Var[N]·μ_a³/w).
+
+    The sample window is a ``deque(maxlen=window)``: appending past
+    capacity drops the oldest sample in O(1), where the previous list
+    implementation re-sliced the whole window on every record.
     """
 
     def __init__(self, window: int = 60):
         self.window = window
-        self._samples: List[tuple] = []  # (timestamp, cumulative_count)
+        # (timestamp, cumulative_count); maxlen trims oldest-first exactly
+        # like the previous ``samples[-window:]`` slice did.
+        self._samples: Deque[Tuple[float, int]] = deque(maxlen=window)
 
     def record(self, timestamp: float, cumulative_count: int) -> None:
         self._samples.append((timestamp, cumulative_count))
-        if len(self._samples) > self.window:
-            self._samples = self._samples[-self.window :]
 
     @property
     def rate(self) -> float:
@@ -70,7 +86,8 @@ class ArrivalMonitor:
             return 0.0
         counts = []
         widths = []
-        for (t0, c0), (t1, c1) in zip(self._samples, self._samples[1:]):
+        samples = list(self._samples)
+        for (t0, c0), (t1, c1) in zip(samples, samples[1:]):
             if t1 > t0:
                 counts.append(c1 - c0)
                 widths.append(t1 - t0)
@@ -126,6 +143,7 @@ class Supervisor:
         min_instances: int = 1,
         max_instances: int = 64,
         snapshot_horizon: Optional[float] = 30.0,
+        journal: Optional[DecisionJournal] = None,
     ):
         self.broker = broker
         self.oid = oid
@@ -137,12 +155,22 @@ class Supervisor:
         #: seconds ago (None disables the check).  A stale snapshot —
         #: e.g. replayed by a hiccuping broker — must not steer scaling.
         self.snapshot_horizon = snapshot_horizon
+        #: Structured control-plane log; None keeps the loop journal-free.
+        self.journal = journal
         self.fleet = broker.lookup(REMOTE_BROKER_OID, RemoteBrokerApi)
         self.monitor = ArrivalMonitor()
         self.history = SupervisorHistory()
+        self.last_step_at: Optional[float] = None
         self._thread: Optional[threading.Thread] = None
         self._stop = threading.Event()
         self._heartbeat_cb = None
+        #: The pool size enforced by the previous step.  A census below
+        #: it at the next step means instances died in between — the
+        #: shortfall's replacement spawns are journaled as crash repair.
+        self._enforced_target: Optional[int] = None
+        HEALTH.register(
+            f"supervisor:{oid}", self, Supervisor._health_probe, required=True
+        )
 
     # -- observation -------------------------------------------------------------
 
@@ -190,23 +218,79 @@ class Supervisor:
     def step(self, now: Optional[float] = None) -> SupervisorRecord:
         """Run one control period synchronously (used by tests and benches)."""
         observation = self.observe(now)
-        desired = self.provisioner.propose(observation)
-        desired = min(self.max_instances, max(self.min_instances, desired))
+        proposal = self.provisioner.propose(observation)
+        desired = min(self.max_instances, max(self.min_instances, proposal))
+        reason = getattr(self.provisioner, "last_reason", "") or (
+            f"{self.provisioner.name} proposed {proposal}"
+        )
+        threshold = getattr(self.provisioner, "last_threshold", None)
 
         alive = self.fleet.ping()
         spawned = removed = 0
         current = observation.instance_count
+        # Census shortfall against the previously enforced target means
+        # instances died since last period (Fig 8(f)); their replacement
+        # spawns are crash repair, any further growth is a scale-up.
+        crash_shortfall = 0
+        if self._enforced_target is not None and current < self._enforced_target:
+            crash_shortfall = self._enforced_target - current
 
+        decision_seq = 0
+        if self.journal is not None:
+            decision_seq = self.journal.append(
+                KIND_DECISION,
+                observation.timestamp,
+                oid=self.oid,
+                lam_obs=observation.arrival_rate,
+                lam_pred=getattr(self.provisioner, "last_prediction", None)
+                or self._predicted_rate(observation.timestamp),
+                interarrival_variance=observation.interarrival_variance,
+                queue_depth=observation.queue_depth,
+                census=current,
+                census_shortfall=crash_shortfall,
+                alive_brokers=len(alive),
+                policy=self.provisioner.name,
+                proposal=proposal,
+                desired=desired,
+                threshold=threshold,
+                reason=reason,
+            ).seq
+
+        removed_ids: List[str] = []
         if alive:
             while current + spawned < desired:
                 try:
-                    self.fleet.spawn(self.oid)
+                    instance_id = self.fleet.spawn(self.oid)
                     spawned += 1
                 except Exception:
                     logger.exception("spawn of %s failed", self.oid)
                     break
+                if self.journal is not None:
+                    repair = spawned <= min(crash_shortfall, desired - current)
+                    self.journal.append(
+                        KIND_SPAWN,
+                        observation.timestamp,
+                        oid=self.oid,
+                        instance_id=instance_id,
+                        reason=REASON_CRASH_REPAIR if repair else REASON_SCALE_UP,
+                        policy_reason=reason,
+                        decision_seq=decision_seq,
+                    )
             if current > desired:
-                removed = self._remove_surplus(observation, current - desired)
+                removed_ids = self._remove_surplus(observation, current - desired)
+                removed = len(removed_ids)
+                if self.journal is not None:
+                    for instance_id in removed_ids:
+                        self.journal.append(
+                            KIND_SHUTDOWN,
+                            observation.timestamp,
+                            oid=self.oid,
+                            instance_id=instance_id,
+                            reason=REASON_SCALE_DOWN,
+                            policy_reason=reason,
+                            decision_seq=decision_seq,
+                        )
+            self._enforced_target = desired
 
         record = SupervisorRecord(
             timestamp=observation.timestamp,
@@ -219,21 +303,74 @@ class Supervisor:
             alive_brokers=len(alive),
         )
         self.history.append(record)
+        self.last_step_at = time.monotonic()
+        self._export_gauges(observation, desired, spawned, removed)
         if self._heartbeat_cb is not None:
             self._heartbeat_cb()
         return record
 
-    def _remove_surplus(self, observation: PoolObservation, surplus: int) -> int:
-        """Shut down the most idle instances first."""
+    def _predicted_rate(self, timestamp: float) -> float:
+        """λ_pred from the active policy's predictor, if it has one."""
+        predictive = getattr(self.provisioner, "predictive", None)
+        if predictive is not None and hasattr(predictive, "predicted_rate"):
+            return predictive.predicted_rate(timestamp)
+        if hasattr(self.provisioner, "predicted_rate"):
+            return self.provisioner.predicted_rate(timestamp)
+        return 0.0
+
+    def _export_gauges(
+        self,
+        observation: PoolObservation,
+        desired: int,
+        spawned: int,
+        removed: int,
+    ) -> None:
+        """Publish control-plane gauges for SLO rules / the ops endpoint."""
+        labels = {"oid": self.oid}
+        REGISTRY.gauge("supervisor_pool_size", **labels).set(
+            observation.instance_count + spawned - removed
+        )
+        REGISTRY.gauge("supervisor_desired", **labels).set(desired)
+        REGISTRY.gauge("supervisor_queue_depth", **labels).set(
+            observation.queue_depth
+        )
+        REGISTRY.gauge("supervisor_lambda_obs", **labels).set(
+            observation.arrival_rate
+        )
+        try:
+            stats = self.broker.mom.queue_stats(self.oid)
+        except Exception:
+            stats = {}
+        if "redelivered" in stats:
+            REGISTRY.gauge("supervisor_queue_redelivered", **labels).set(
+                stats["redelivered"]
+            )
+
+    def _health_probe(self) -> dict:
+        """Liveness: the control loop stepped recently (or hasn't started)."""
+        detail = {
+            "oid": self.oid,
+            "steps": len(self.history.records),
+            "running": self._thread is not None,
+        }
+        if self._thread is not None and self.last_step_at is not None:
+            stalled = time.monotonic() - self.last_step_at > 5 * self.control_interval
+            detail["ok"] = not stalled
+            if stalled:
+                detail["error"] = "control loop stalled"
+        return detail
+
+    def _remove_surplus(self, observation: PoolObservation, surplus: int) -> List[str]:
+        """Shut down the most idle instances first; returns removed ids."""
         candidates = sorted(
             observation.instances,
             key=lambda s: (s.busy, s.last_invocation_at or 0.0),
         )
-        removed = 0
+        removed: List[str] = []
         for snapshot in candidates[:surplus]:
             acks = self.fleet.shutdown(self.oid, snapshot.instance_id)
             if any(acks):
-                removed += 1
+                removed.append(snapshot.instance_id)
         return removed
 
     # -- background operation --------------------------------------------------------

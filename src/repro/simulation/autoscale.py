@@ -32,6 +32,15 @@ from repro.simulation.server import (
     ServiceTimeDistribution,
     poisson_arrival_times,
 )
+from repro.telemetry.control import (
+    KIND_DECISION,
+    KIND_SHUTDOWN,
+    KIND_SPAWN,
+    REASON_CRASH_REPAIR,
+    REASON_SCALE_DOWN,
+    REASON_SCALE_UP,
+    DecisionJournal,
+)
 
 
 @dataclass(frozen=True)
@@ -75,6 +84,8 @@ class SimResult:
     response_samples: List[Tuple[float, float]] = field(default_factory=list)
     total_arrivals: int = 0
     total_completed: int = 0
+    #: Structured control-plane log of the run (None when not requested).
+    journal: Optional[DecisionJournal] = None
 
     def capacity_series(self) -> List[Tuple[float, int]]:
         return [(r.timestamp, r.capacity_before) for r in self.control_records]
@@ -113,10 +124,14 @@ class AutoscaleSimulation:
         arrivals_per_second: List[int],
         provisioner: Provisioner,
         config: Optional[SimConfig] = None,
+        journal: Optional[DecisionJournal] = None,
     ):
         self.arrivals = list(arrivals_per_second)
         self.provisioner = provisioner
         self.config = config if config is not None else SimConfig()
+        #: When set, the control loop journals every decision and
+        #: capacity action exactly like the live Supervisor does.
+        self.journal = journal
 
     # -- observation ---------------------------------------------------------------
 
@@ -145,6 +160,55 @@ class AutoscaleSimulation:
             return self.provisioner.predicted_rate(timestamp)
         return 0.0
 
+    def _journal_step(
+        self,
+        observation: PoolObservation,
+        proposal: int,
+        desired: int,
+        enforced: int,
+    ) -> None:
+        """Journal one control period exactly like the live Supervisor."""
+        census = observation.instance_count
+        crash_shortfall = max(0, enforced - census)
+        reason = getattr(self.provisioner, "last_reason", "") or (
+            f"{self.provisioner.name} proposed {proposal}"
+        )
+        decision = self.journal.append(
+            KIND_DECISION,
+            observation.timestamp,
+            oid=observation.oid,
+            lam_obs=observation.arrival_rate,
+            lam_pred=self._predicted_rate(observation.timestamp),
+            interarrival_variance=observation.interarrival_variance,
+            queue_depth=observation.queue_depth,
+            census=census,
+            census_shortfall=crash_shortfall,
+            policy=self.provisioner.name,
+            proposal=proposal,
+            desired=desired,
+            threshold=getattr(self.provisioner, "last_threshold", None),
+            reason=reason,
+        )
+        for index in range(max(0, desired - census)):
+            repair = index < min(crash_shortfall, desired - census)
+            self.journal.append(
+                KIND_SPAWN,
+                observation.timestamp,
+                oid=observation.oid,
+                reason=REASON_CRASH_REPAIR if repair else REASON_SCALE_UP,
+                policy_reason=reason,
+                decision_seq=decision.seq,
+            )
+        for _ in range(max(0, census - desired)):
+            self.journal.append(
+                KIND_SHUTDOWN,
+                observation.timestamp,
+                oid=observation.oid,
+                reason=REASON_SCALE_DOWN,
+                policy_reason=reason,
+                decision_seq=decision.seq,
+            )
+
     # -- run --------------------------------------------------------------------------
 
     def run(self) -> SimResult:
@@ -162,7 +226,7 @@ class AutoscaleSimulation:
             initial_capacity=config.min_instances,
             spawn_delay=config.spawn_delay,
         )
-        result = SimResult(config=config)
+        result = SimResult(config=config, journal=self.journal)
 
         for when in poisson_arrival_times(
             self.arrivals, rng=random.Random(rng.getrandbits(64))
@@ -170,35 +234,43 @@ class AutoscaleSimulation:
             loop.schedule_at(when, pool.arrive)
 
         duration = float(len(self.arrivals))
+        # Pool size commanded by the previous control period; a census
+        # below it means servers crashed in between, so the replacement
+        # portion of any growth is journaled as crash repair (Fig 8(f)).
+        enforced = [pool.capacity]
 
         def control_step() -> None:
             now = loop.now
             timestamp = config.time_origin + now
             lam_obs, sigma_a2 = self._window_stats(now)
+            census = pool.capacity
             observation = PoolObservation(
                 oid="syncservice",
                 timestamp=timestamp,
-                instance_count=pool.capacity,
+                instance_count=census,
                 queue_depth=pool.queue_depth,
                 arrival_rate=lam_obs,
                 interarrival_variance=sigma_a2,
                 mean_service_time=config.params.s,
                 service_time_variance=config.params.sigma_b2,
             )
-            desired = self.provisioner.propose(observation)
-            desired = min(config.max_instances, max(config.min_instances, desired))
+            proposal = self.provisioner.propose(observation)
+            desired = min(config.max_instances, max(config.min_instances, proposal))
             result.control_records.append(
                 ControlRecord(
                     timestamp=now,
                     lam_obs=lam_obs,
                     lam_pred=self._predicted_rate(timestamp),
-                    capacity_before=pool.capacity,
+                    capacity_before=census,
                     desired=desired,
                     queue_depth=pool.queue_depth,
                 )
             )
+            if self.journal is not None:
+                self._journal_step(observation, proposal, desired, enforced[0])
             if desired != pool.capacity:
                 pool.set_capacity(desired)
+            enforced[0] = desired
             if now + config.control_interval <= duration:
                 loop.schedule(config.control_interval, control_step)
 

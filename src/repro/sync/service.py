@@ -19,6 +19,7 @@ from typing import TYPE_CHECKING, Callable, Dict, List, Optional
 
 from repro.errors import UnknownWorkspace
 from repro.objectmq.broker import Broker
+from repro.telemetry.control import HEALTH
 from repro.telemetry.trace import TRACER
 
 if TYPE_CHECKING:  # avoid a circular import: metadata.base imports sync.models
@@ -60,6 +61,15 @@ class SyncService(HasObjectInfo):
         self._workspace_proxies: Dict[str, object] = {}
         self.commit_count = 0
         self.conflict_count = 0
+        HEALTH.register(f"sync:{id(self):x}", self, SyncService._health_probe)
+
+    def _health_probe(self) -> Dict[str, object]:
+        """Ops-endpoint probe: the service is wired and processing commits."""
+        return {
+            "ok": True,
+            "commits": self.commit_count,
+            "conflicts": self.conflict_count,
+        }
 
     # -- SyncServiceApi implementation --------------------------------------------
 

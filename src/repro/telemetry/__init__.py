@@ -11,6 +11,15 @@ Everything is **off by default** and zero-cost when disabled: each
 instrumentation site is guarded by a single ``TRACER.enabled`` attribute
 check, and no trace bytes touch the wire unless tracing is on.
 
+The control plane has its own observability on top
+(:mod:`repro.telemetry.control`, :mod:`repro.telemetry.slo`,
+:mod:`repro.telemetry.http`): an append-only :class:`DecisionJournal`
+recording every Supervisor scaling decision with its policy reason, a
+weakref :class:`HealthRegistry` of per-component liveness probes, a
+declarative :class:`SloEngine` alerting on registry gauges, and an
+:class:`OpsServer` exposing ``/metrics``, ``/health``, ``/ready``,
+``/events`` and ``/slo`` over plain HTTP.
+
 Typical use::
 
     from repro import telemetry
@@ -23,6 +32,23 @@ Typical use::
     telemetry.disable()
 """
 
+from repro.telemetry.control import (
+    HEALTH,
+    KIND_ALERT_FIRED,
+    KIND_ALERT_RESOLVED,
+    KIND_DECISION,
+    KIND_SHUTDOWN,
+    KIND_SPAWN,
+    REASON_CRASH_REPAIR,
+    REASON_SCALE_DOWN,
+    REASON_SCALE_UP,
+    DecisionJournal,
+    HealthRegistry,
+    JournalEvent,
+    ProbeResult,
+    get_health_registry,
+    load_journal_lines,
+)
 from repro.telemetry.export import (
     load_jsonl,
     render_flame_table,
@@ -40,6 +66,13 @@ from repro.telemetry.registry import (
     MetricsRegistry,
     get_registry,
 )
+from repro.telemetry.http import OpsServer
+from repro.telemetry.slo import (
+    DEFAULT_RULES_TEXT,
+    SloEngine,
+    SloRule,
+    default_rules,
+)
 from repro.telemetry.stats import percentile
 from repro.telemetry.trace import (
     DEQUEUED_AT_KEY,
@@ -56,23 +89,43 @@ from repro.telemetry.trace import (
 )
 
 __all__ = [
+    "DEFAULT_RULES_TEXT",
     "DEQUEUED_AT_KEY",
     "ENQUEUED_AT_KEY",
+    "HEALTH",
+    "KIND_ALERT_FIRED",
+    "KIND_ALERT_RESOLVED",
+    "KIND_DECISION",
+    "KIND_SHUTDOWN",
+    "KIND_SPAWN",
+    "REASON_CRASH_REPAIR",
+    "REASON_SCALE_DOWN",
+    "REASON_SCALE_UP",
     "REGISTRY",
     "TRACE_KEY",
     "TRACER",
     "Counter",
+    "DecisionJournal",
     "Gauge",
+    "HealthRegistry",
     "Histogram",
+    "JournalEvent",
     "MetricsRegistry",
+    "OpsServer",
+    "ProbeResult",
+    "SloEngine",
+    "SloRule",
     "Span",
     "TraceContext",
     "Tracer",
+    "default_rules",
     "disable",
     "enable",
     "enabled",
+    "get_health_registry",
     "get_registry",
     "get_tracer",
+    "load_journal_lines",
     "load_jsonl",
     "percentile",
     "render_flame_table",

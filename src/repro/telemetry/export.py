@@ -75,6 +75,13 @@ def spans_to_chrome_trace(spans: Sequence[Span]) -> Dict:
     Timestamps are microseconds; each layer gets its own ``tid`` with a
     ``thread_name`` metadata record so Perfetto renders one labeled row
     per layer.
+
+    Spans without an end stamp (a crash or an export taken mid-request
+    leaves ``end == 0.0``) and spans whose clock ran backwards
+    (``end < start``) carry no meaningful duration: both become
+    zero-length instant events (``"ph": "i"``) at their start time, so
+    the viewer shows *that* the operation began without inventing a
+    width for it.
     """
     layers = sorted({span.layer for span in spans}, key=_layer_rank)
     tid_of = {layer: index + 1 for index, layer in enumerate(layers)}
@@ -96,18 +103,27 @@ def spans_to_chrome_trace(spans: Sequence[Span]) -> Dict:
             "thread": span.thread,
         }
         args.update({k: str(v) for k, v in span.attrs.items()})
-        events.append(
-            {
-                "name": span.name,
-                "cat": span.layer,
-                "ph": "X",
-                "ts": span.start * 1e6,
-                "dur": span.duration * 1e6,
-                "pid": 1,
-                "tid": tid_of[span.layer],
-                "args": args,
-            }
-        )
+        event = {
+            "name": span.name,
+            "cat": span.layer,
+            "ph": "X",
+            "ts": span.start * 1e6,
+            "dur": span.duration * 1e6,
+            "pid": 1,
+            "tid": tid_of[span.layer],
+            "args": args,
+        }
+        if span.end <= 0.0:
+            event["ph"] = "i"
+            event["s"] = "t"
+            event.pop("dur")
+            args["unfinished"] = "true"
+        elif span.end < span.start:
+            event["ph"] = "i"
+            event["s"] = "t"
+            event.pop("dur")
+            args["negative_duration"] = "true"
+        events.append(event)
     return {"traceEvents": events, "displayTimeUnit": "ms"}
 
 

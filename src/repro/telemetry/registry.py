@@ -214,6 +214,29 @@ class MetricsRegistry:
         with self._lock:
             self._sources.pop(token, None)
 
+    def prune_dead_sources(self) -> int:
+        """Drop sources whose owners were garbage-collected.
+
+        :meth:`snapshot` already prunes as a side effect of scraping; this
+        is the explicit form for callers that want to reclaim the slots
+        (and verify there are no tombstones) without paying for a scrape.
+        Returns the number of sources removed.
+        """
+        with self._lock:
+            dead = [
+                token
+                for token, source in self._sources.items()
+                if source.ref() is None
+            ]
+            for token in dead:
+                self._sources.pop(token)
+        return len(dead)
+
+    def source_count(self) -> int:
+        """Number of registered sources, including not-yet-pruned dead ones."""
+        with self._lock:
+            return len(self._sources)
+
     # -- output --------------------------------------------------------------
 
     def snapshot(self) -> Dict[str, float]:

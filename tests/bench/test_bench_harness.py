@@ -51,6 +51,60 @@ def test_render_boxplot_row():
     assert "med=" in row and "ADD" in row
 
 
+def test_render_dual_series_glyphs():
+    from repro.bench.reporting import render_dual_series
+
+    chart = render_dual_series(
+        "compare",
+        [(0, 1.0), (10, 2.0)],
+        [(0, 1.0), (10, 4.0)],
+        label_a="obs",
+        label_b="pred",
+        width=20,
+        height=5,
+    )
+    assert "*=obs" in chart and "o=pred" in chart
+    assert "@" in chart  # both series share the (0, 1.0) cell
+    assert "o" in chart  # pred-only cell at (10, 4.0)
+    assert "(no data)" in render_dual_series("empty", [], [])
+
+
+def test_render_provisioning_timeline_sections():
+    from repro.bench.reporting import render_provisioning_timeline
+
+    events = [
+        {"kind": "decision", "timestamp": 0.0, "seq": 1, "lam_obs": 10.0,
+         "lam_pred": 12.0, "census": 1, "desired": 2, "reason": "grow"},
+        {"kind": "spawn", "timestamp": 0.0, "seq": 2, "reason": "scale-up",
+         "policy_reason": "grow", "decision_seq": 1},
+        {"kind": "decision", "timestamp": 5.0, "seq": 3, "lam_obs": 11.0,
+         "lam_pred": 12.0, "census": 2, "desired": 2, "reason": "hold"},
+        {"kind": "alert-fired", "timestamp": 5.0, "seq": 4, "rule": "backlog",
+         "severity": "warn", "series": "depth", "op": ">", "threshold": 50,
+         "value": 60.0},
+    ]
+    text = render_provisioning_timeline(events)
+    assert "Pool size over time" in text
+    assert "observed vs predicted" in text
+    assert "scale-up" in text and "grow" in text
+    assert "backlog" in text and "depth > 50" in text
+
+
+def test_render_provisioning_timeline_truncates_actions():
+    from repro.bench.reporting import render_provisioning_timeline
+
+    events = [
+        {"kind": "decision", "timestamp": 0.0, "seq": 1, "lam_obs": 1.0,
+         "lam_pred": 1.0, "census": 0, "desired": 5, "reason": "r"},
+    ] + [
+        {"kind": "spawn", "timestamp": float(i), "seq": i + 2,
+         "reason": "scale-up", "policy_reason": "r", "decision_seq": 1}
+        for i in range(10)
+    ]
+    text = render_provisioning_timeline(events, max_actions=3)
+    assert "first 3 of 10" in text
+
+
 def test_mb():
     assert mb(1024 * 1024) == 1.0
 

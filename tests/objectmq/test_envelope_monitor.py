@@ -91,6 +91,81 @@ def test_arrival_monitor_variance_poissonish():
     assert ca2 == pytest.approx(1.0, rel=0.25)
 
 
+class _ListArrivalMonitor:
+    """The pre-deque reference implementation: a list re-sliced on every
+    record.  Kept verbatim so the deque rewrite can be pinned bit-identical."""
+
+    def __init__(self, window: int = 60):
+        self.window = window
+        self._samples = []
+
+    def record(self, timestamp, cumulative_count):
+        self._samples.append((timestamp, cumulative_count))
+        self._samples = self._samples[-self.window:]
+
+    @property
+    def rate(self):
+        if len(self._samples) < 2:
+            return 0.0
+        (t0, c0), (t1, c1) = self._samples[0], self._samples[-1]
+        elapsed = t1 - t0
+        if elapsed <= 0:
+            return 0.0
+        return max(0.0, (c1 - c0) / elapsed)
+
+    @property
+    def interarrival_variance(self):
+        if len(self._samples) < 3:
+            return 0.0
+        counts = []
+        widths = []
+        for (t0, c0), (t1, c1) in zip(self._samples, self._samples[1:]):
+            if t1 > t0:
+                counts.append(c1 - c0)
+                widths.append(t1 - t0)
+        if not counts:
+            return 0.0
+        width = sum(widths) / len(widths)
+        mean_count = sum(counts) / len(counts)
+        if mean_count <= 0:
+            return 0.0
+        var_count = sum((c - mean_count) ** 2 for c in counts) / len(counts)
+        mean_interarrival = width / mean_count
+        return var_count * mean_interarrival**3 / width
+
+
+def test_arrival_monitor_deque_bit_identical_to_list():
+    """The O(1) deque window must reproduce the list-slice window exactly:
+    same retained samples, bit-identical rate and variance at every step."""
+    import random
+
+    rng = random.Random(99)
+    deque_monitor = ArrivalMonitor(window=7)
+    list_monitor = _ListArrivalMonitor(window=7)
+    cumulative = 0
+    t = 0.0
+    for step in range(500):
+        # Irregular stamps (including repeats) and bursty counts.
+        t += rng.choice([0.0, 0.25, 1.0, 3.0])
+        cumulative += rng.randrange(0, 50)
+        deque_monitor.record(t, cumulative)
+        list_monitor.record(t, cumulative)
+        assert list(deque_monitor._samples) == list_monitor._samples
+        assert deque_monitor.rate == list_monitor.rate  # exact, not approx
+        assert (
+            deque_monitor.interarrival_variance
+            == list_monitor.interarrival_variance
+        )
+
+
+def test_arrival_monitor_window_is_bounded():
+    monitor = ArrivalMonitor(window=10)
+    for t in range(1000):
+        monitor.record(float(t), t)
+    assert len(monitor._samples) == 10
+    assert monitor._samples.maxlen == 10
+
+
 def test_begin_only_generated_for_plain_sync_methods(omq):
     from repro.objectmq import Remote, async_method, multi_method, remote_interface, sync_method
 

@@ -14,6 +14,16 @@ from repro.objectmq import (
     RemoteBroker,
     Supervisor,
 )
+from repro.telemetry.control import (
+    HEALTH,
+    KIND_DECISION,
+    KIND_SHUTDOWN,
+    KIND_SPAWN,
+    REASON_CRASH_REPAIR,
+    REASON_SCALE_DOWN,
+    REASON_SCALE_UP,
+    DecisionJournal,
+)
 
 
 class Worker:
@@ -148,6 +158,121 @@ def test_observation_includes_instance_snapshots(fleet):
     assert observation.instance_count == 2
     assert len(observation.instances) == 2
     assert all(s.oid == "worker" for s in observation.instances)
+
+
+def test_journal_records_decisions_and_spawns(fleet):
+    _mom, _rbrokers, sup_broker = fleet
+    journal = DecisionJournal()
+    supervisor = Supervisor(
+        sup_broker, "worker", FixedProvisioner(2), journal=journal
+    )
+    supervisor.step()
+
+    (decision,) = journal.decisions()
+    assert decision.data["policy"] == "fixed"
+    assert decision.data["census"] == 0
+    assert decision.data["desired"] == 2
+    assert decision.data["alive_brokers"] == 2
+    assert decision.data["reason"].strip()
+
+    spawns = journal.events(KIND_SPAWN)
+    assert len(spawns) == 2
+    for spawn in spawns:
+        assert spawn.data["reason"] == REASON_SCALE_UP
+        assert spawn.data["decision_seq"] == decision.seq
+        assert spawn.data["instance_id"]
+        assert spawn.data["policy_reason"] == decision.data["reason"]
+
+
+def test_journal_attributes_crash_repair(fleet):
+    """Satellite of Fig 8(f): a mid-run crash must surface in the journal as
+    a census drop followed by a replacement spawn tagged crash-repair."""
+    _mom, rbrokers, sup_broker = fleet
+    journal = DecisionJournal()
+    supervisor = Supervisor(
+        sup_broker, "worker", FixedProvisioner(2), journal=journal
+    )
+    supervisor.step()
+    assert total_instances(rbrokers) == 2
+
+    injector = CrashInjector(rbrokers, "worker", period=1000.0)
+    assert injector.crash_one() is not None
+    assert total_instances(rbrokers) == 1
+
+    record = supervisor.step()
+    assert record.spawned == 1
+    assert total_instances(rbrokers) == 2
+
+    repair_decision = journal.decisions()[-1]
+    assert repair_decision.data["census"] == 1
+    assert repair_decision.data["census_shortfall"] == 1
+
+    replacement = journal.events(KIND_SPAWN)[-1]
+    assert replacement.data["reason"] == REASON_CRASH_REPAIR
+    assert replacement.data["decision_seq"] == repair_decision.seq
+    assert replacement.data["policy_reason"].strip()
+
+
+def test_journal_records_scale_down_with_instance_ids(fleet):
+    _mom, rbrokers, sup_broker = fleet
+    journal = DecisionJournal()
+    supervisor = Supervisor(
+        sup_broker, "worker", FixedProvisioner(3), journal=journal
+    )
+    supervisor.step()
+    supervisor.provisioner = FixedProvisioner(1)
+    supervisor.step()
+    assert total_instances(rbrokers) == 1
+
+    shutdowns = journal.events(KIND_SHUTDOWN)
+    assert len(shutdowns) == 2
+    assert {s.data["reason"] for s in shutdowns} == {REASON_SCALE_DOWN}
+    assert all(s.data["instance_id"] for s in shutdowns)
+    assert {s.data["decision_seq"] for s in shutdowns} == {
+        journal.decisions()[-1].seq
+    }
+
+
+def test_journal_growth_beyond_repair_splits_reasons(fleet):
+    """When the pool both repairs a crash and scales up in one period, only
+    the shortfall portion is attributed to crash repair."""
+    _mom, rbrokers, sup_broker = fleet
+    journal = DecisionJournal()
+    supervisor = Supervisor(
+        sup_broker, "worker", FixedProvisioner(2), journal=journal
+    )
+    supervisor.step()
+    CrashInjector(rbrokers, "worker", period=1000.0).crash_one()
+
+    supervisor.provisioner = FixedProvisioner(4)  # repair 1 + grow 2
+    supervisor.step()
+    assert total_instances(rbrokers) == 4
+
+    last_seq = journal.decisions()[-1].seq
+    spawns = [
+        s for s in journal.events(KIND_SPAWN)
+        if s.data["decision_seq"] == last_seq
+    ]
+    reasons = [s.data["reason"] for s in spawns]
+    assert reasons == [REASON_CRASH_REPAIR, REASON_SCALE_UP, REASON_SCALE_UP]
+
+
+def test_supervisor_registers_health_probe(fleet):
+    _mom, _rbrokers, sup_broker = fleet
+    supervisor = Supervisor(sup_broker, "worker", FixedProvisioner(1))
+    supervisor.step()
+    results = {r.component: r for r in HEALTH.check()}
+    probe = results["supervisor:worker"]
+    assert probe.ok and probe.required
+    assert probe.detail["steps"] == 1
+
+
+def test_supervisor_without_journal_unchanged(fleet):
+    _mom, rbrokers, sup_broker = fleet
+    supervisor = Supervisor(sup_broker, "worker", FixedProvisioner(2))
+    assert supervisor.journal is None
+    supervisor.step()
+    assert total_instances(rbrokers) == 2
 
 
 class _StubFleet:

@@ -11,6 +11,13 @@ from repro.elasticity import (
 )
 from repro.objectmq.provisioner import FixedProvisioner
 from repro.simulation import AutoscaleSimulation, SimConfig
+from repro.telemetry.control import (
+    KIND_SHUTDOWN,
+    KIND_SPAWN,
+    REASON_SCALE_DOWN,
+    REASON_SCALE_UP,
+    DecisionJournal,
+)
 
 
 def flat_trace(rate, seconds):
@@ -113,6 +120,56 @@ def test_response_percentile_series_buckets():
     series = result.response_percentile_series(bucket=10.0)
     assert len(series) >= 3
     assert all(value > 0 for _t, value in series)
+
+
+def test_journal_mirrors_control_records():
+    journal = DecisionJournal()
+    sim = AutoscaleSimulation(
+        flat_trace(10, 60),
+        FixedProvisioner(2),
+        SimConfig(control_interval=5.0, spawn_delay=0.0),
+        journal=journal,
+    )
+    result = sim.run()
+    assert result.journal is journal
+    decisions = journal.decisions()
+    assert len(decisions) == len(result.control_records)
+    for record, decision in zip(result.control_records, decisions):
+        assert decision.data["lam_obs"] == record.lam_obs
+        assert decision.data["desired"] == record.desired
+        assert decision.data["census"] == record.capacity_before
+        assert decision.data["policy"] == "fixed"
+        assert decision.data["reason"].strip()
+
+
+def test_journal_actions_attributable():
+    """Every simulated capacity action points at a journaled decision."""
+    journal = DecisionJournal()
+    # Ramp up then down so both spawn and shutdown events appear.
+    trace = flat_trace(5, 40) + flat_trace(120, 60) + flat_trace(5, 60)
+    from repro.elasticity import ReactiveProvisioner
+
+    sim = AutoscaleSimulation(
+        trace,
+        ReactiveProvisioner(predictive=None),
+        SimConfig(control_interval=5.0, observation_window=10.0),
+        journal=journal,
+    )
+    sim.run()
+    kinds = {a.kind for a in journal.actions()}
+    assert kinds == {KIND_SPAWN, KIND_SHUTDOWN}
+    decision_seqs = {d.seq for d in journal.decisions()}
+    for action in journal.actions():
+        assert action.data["decision_seq"] in decision_seqs
+        assert action.data["policy_reason"].strip()
+        assert action.data["reason"] in (REASON_SCALE_UP, REASON_SCALE_DOWN)
+
+
+def test_journal_none_by_default():
+    sim = AutoscaleSimulation(
+        flat_trace(10, 20), FixedProvisioner(1), SimConfig(control_interval=5.0)
+    )
+    assert sim.run().journal is None
 
 
 def test_simulation_reproducible():

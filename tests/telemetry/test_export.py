@@ -86,6 +86,45 @@ def test_chrome_trace_file_is_valid_json(tmp_path):
     assert isinstance(doc["traceEvents"], list)
 
 
+def test_chrome_trace_unfinished_span_becomes_instant_event():
+    # A crash (or an export taken mid-request) leaves end == 0.0.
+    unfinished = make_span("sync.commit", "sync", 5.0, 0.0)
+    doc = spans_to_chrome_trace([unfinished])
+    (event,) = [e for e in doc["traceEvents"] if e["ph"] != "M"]
+    assert event["ph"] == "i"
+    assert event["s"] == "t"
+    assert "dur" not in event
+    assert event["ts"] == 5.0e6  # anchored at the start stamp
+    assert event["args"]["unfinished"] == "true"
+
+
+def test_chrome_trace_negative_duration_becomes_instant_event():
+    # Clock skew between stamps must not render a negative-width bar.
+    skewed = make_span("queue.wait", "queue", 2.0, 1.5)
+    doc = spans_to_chrome_trace([skewed])
+    (event,) = [e for e in doc["traceEvents"] if e["ph"] != "M"]
+    assert event["ph"] == "i"
+    assert "dur" not in event
+    assert event["args"]["negative_duration"] == "true"
+
+
+def test_chrome_trace_mixed_clamped_and_complete(tmp_path):
+    spans = SPANS + [
+        make_span("sync.hung", "sync", 9.0, 0.0),
+        make_span("queue.skewed", "queue", 2.0, 1.0),
+    ]
+    doc = spans_to_chrome_trace(spans)
+    complete = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+    instants = [e for e in doc["traceEvents"] if e["ph"] == "i"]
+    assert len(complete) == len(SPANS)
+    assert {e["name"] for e in instants} == {"sync.hung", "queue.skewed"}
+    # And the whole document still serializes.
+    path = tmp_path / "trace.json"
+    write_chrome_trace(spans, str(path))
+    with open(path) as fh:
+        assert len(json.load(fh)["traceEvents"]) == len(doc["traceEvents"])
+
+
 def test_top_spans_by_layer():
     spans = SPANS + [make_span("client.flush", "client", 2.0, 2.1)]
     top = top_spans_by_layer(spans, top_n=1)

@@ -1,0 +1,163 @@
+"""OpsServer: every route over real HTTP on an ephemeral port."""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.telemetry.control import (
+    KIND_DECISION,
+    KIND_SPAWN,
+    DecisionJournal,
+    HealthRegistry,
+)
+from repro.telemetry.http import OpsServer
+from repro.telemetry.registry import MetricsRegistry
+from repro.telemetry.slo import SloEngine, SloRule
+
+
+class _Component:
+    def __init__(self, ok=True):
+        self.ok = ok
+
+    def probe(self):
+        return {"ok": self.ok}
+
+
+@pytest.fixture
+def stack():
+    registry = MetricsRegistry()
+    journal = DecisionJournal()
+    health = HealthRegistry()
+    slo = SloEngine(
+        [SloRule.parse("backlog: depth > 10 for 1")],
+        registry=registry,
+        journal=journal,
+    )
+    ops = OpsServer(
+        registry=registry, journal=journal, health=health, slo=slo
+    ).start()
+    try:
+        yield registry, journal, health, slo, ops
+    finally:
+        ops.stop()
+
+
+def _get(url):
+    try:
+        with urllib.request.urlopen(url, timeout=5) as response:
+            return response.status, response.read().decode("utf-8")
+    except urllib.error.HTTPError as exc:
+        return exc.code, exc.read().decode("utf-8")
+
+
+def test_index_lists_routes(stack):
+    *_rest, ops = stack
+    status, body = _get(ops.url + "/")
+    assert status == 200
+    assert set(json.loads(body)["routes"]) == {
+        "/metrics", "/health", "/ready", "/events", "/slo"
+    }
+
+
+def test_metrics_prometheus_text(stack):
+    registry, *_rest, ops = stack
+    registry.gauge("depth", oid="q").set(7)
+    status, body = _get(ops.url + "/metrics")
+    assert status == 200
+    assert 'depth{oid="q"} 7' in body
+
+
+def test_health_ok_then_degraded(stack):
+    _registry, _journal, health, _slo, ops = stack
+    component = _Component(ok=True)
+    health.register("comp", component, _Component.probe)
+
+    status, body = _get(ops.url + "/health")
+    assert status == 200
+    payload = json.loads(body)
+    assert payload["status"] == "ok"
+    assert payload["components"][0]["component"] == "comp"
+
+    component.ok = False
+    status, body = _get(ops.url + "/health")
+    assert status == 503
+    assert json.loads(body)["status"] == "degraded"
+
+
+def test_ready_ignores_optional_probes(stack):
+    _registry, _journal, health, _slo, ops = stack
+    required = _Component(ok=True)
+    optional = _Component(ok=False)
+    health.register("required", required, _Component.probe, required=True)
+    health.register("optional", optional, _Component.probe, required=False)
+
+    status, body = _get(ops.url + "/ready")
+    assert status == 200
+    payload = json.loads(body)
+    assert payload["ready"] is True
+    assert [c["component"] for c in payload["required"]] == ["required"]
+
+    status, _body = _get(ops.url + "/health")
+    assert status == 503  # /health still reports the optional failure
+
+
+def test_events_tail_and_kind_filter(stack):
+    _registry, journal, *_rest, ops = stack
+    for i in range(5):
+        journal.append(KIND_DECISION, float(i), reason=f"d{i}")
+    journal.append(KIND_SPAWN, 9.0, reason="scale-up")
+
+    status, body = _get(ops.url + "/events?n=3")
+    assert status == 200
+    payload = json.loads(body)
+    assert payload["total"] == 6
+    assert [e["seq"] for e in payload["events"]] == [4, 5, 6]
+
+    _status, body = _get(ops.url + "/events?kind=spawn")
+    events = json.loads(body)["events"]
+    assert len(events) == 1 and events[0]["reason"] == "scale-up"
+
+
+def test_slo_route_reflects_engine_state(stack):
+    registry, journal, _health, slo, ops = stack
+    registry.gauge("depth").set(99)
+    slo.evaluate(now=1.0)
+
+    status, body = _get(ops.url + "/slo")
+    assert status == 200
+    payload = json.loads(body)
+    assert payload["active"] == ["backlog"]
+    assert payload["rules"][0]["active"] is True
+    # The alert edge is in the journal, hence in /events too.
+    _status, body = _get(ops.url + "/events?kind=alert-fired")
+    assert json.loads(body)["events"][0]["rule"] == "backlog"
+
+
+def test_unknown_route_404(stack):
+    *_rest, ops = stack
+    status, body = _get(ops.url + "/nope")
+    assert status == 404
+    assert "no route" in json.loads(body)["error"]
+
+
+def test_without_journal_or_slo_routes_still_serve():
+    ops = OpsServer(
+        registry=MetricsRegistry(), health=HealthRegistry()
+    ).start()
+    try:
+        status, body = _get(ops.url + "/events")
+        assert status == 200 and json.loads(body) == {"events": [], "total": 0}
+        status, body = _get(ops.url + "/slo")
+        assert status == 200 and json.loads(body) == {"rules": [], "active": []}
+    finally:
+        ops.stop()
+
+
+def test_ephemeral_port_and_url(stack):
+    *_rest, ops = stack
+    assert ops.port > 0
+    assert ops.url == f"http://127.0.0.1:{ops.port}"

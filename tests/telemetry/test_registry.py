@@ -93,6 +93,49 @@ def test_dead_source_pruned(registry):
     assert "meter_value" not in registry.snapshot()
 
 
+def test_dead_source_slot_reclaimed_not_just_hidden(registry):
+    """Regression: a gc'd owner must be pruned from the source table by the
+    first scrape, not merely filtered out of every snapshot forever."""
+
+    class Meter:
+        def scrape(self):
+            return {"value": 1}
+
+    meter = Meter()
+    registry.register_source("meter", meter, Meter.scrape)
+    keeper = Meter()
+    registry.register_source("keeper", keeper, Meter.scrape)
+    assert registry.source_count() == 2
+
+    del meter
+    gc.collect()
+    # Still 2 slots until something prunes.
+    assert registry.source_count() == 2
+
+    first = registry.snapshot()
+    assert "meter_value" not in first and "keeper_value" in first
+    # The first scrape reclaimed the dead slot...
+    assert registry.source_count() == 1
+    # ...so a second scrape has nothing left to prune.
+    assert registry.prune_dead_sources() == 0
+    second = registry.snapshot()
+    assert second == first
+
+
+def test_prune_dead_sources_without_scrape(registry):
+    class Meter:
+        def scrape(self):
+            return {"value": 1}
+
+    meter = Meter()
+    registry.register_source("meter", meter, Meter.scrape)
+    assert registry.prune_dead_sources() == 0
+    del meter
+    gc.collect()
+    assert registry.prune_dead_sources() == 1
+    assert registry.source_count() == 0
+
+
 def test_unregister_source(registry):
     class Meter:
         def scrape(self):

@@ -59,6 +59,87 @@ def test_demo_command(capsys):
     assert "hello from the laptop" in out
 
 
+def test_timeline_command(capsys, tmp_path):
+    from repro.telemetry import DecisionJournal
+
+    journal = DecisionJournal()
+    decision = journal.append(
+        "decision", 0.0, oid="syncservice", lam_obs=10.0, lam_pred=12.0,
+        census=1, desired=2, policy="fixed", reason="fixed target of 2",
+    )
+    journal.append(
+        "spawn", 0.0, oid="syncservice", reason="scale-up",
+        policy_reason="fixed target of 2", decision_seq=decision.seq,
+    )
+    journal.append(
+        "decision", 5.0, oid="syncservice", lam_obs=11.0, lam_pred=12.0,
+        census=2, desired=2, policy="fixed", reason="fixed target of 2",
+    )
+    path = str(tmp_path / "journal.jsonl")
+    journal.write(path)
+
+    code, out = run_cli(capsys, "timeline", path)
+    assert code == 0
+    assert "Pool size over time" in out
+    assert "observed vs predicted" in out
+    assert "scale-up" in out
+    assert "fixed target of 2" in out
+
+
+def test_timeline_command_empty_journal(capsys, tmp_path):
+    path = tmp_path / "empty.jsonl"
+    path.write_text("")
+    assert main(["timeline", str(path)]) == 1
+
+
+def test_ops_command_serves_and_journals(capsys, tmp_path):
+    """End-to-end: boot the demo stack briefly, scrape every route, then
+    regenerate the timeline from the journal it wrote."""
+    import json
+    import urllib.request
+
+    journal_path = str(tmp_path / "journal.jsonl")
+    port_file = str(tmp_path / "port")
+
+    import threading
+
+    def probe_routes():
+        import time
+
+        deadline = time.monotonic() + 10.0
+        while time.monotonic() < deadline:
+            try:
+                with open(port_file) as fh:
+                    port = int(fh.read())
+                break
+            except (FileNotFoundError, ValueError):
+                time.sleep(0.05)
+        else:
+            pytest.fail("ops never wrote its port file")
+        base = f"http://127.0.0.1:{port}"
+        with urllib.request.urlopen(base + "/health", timeout=5) as response:
+            probe_routes.health = json.loads(response.read())
+        with urllib.request.urlopen(base + "/metrics", timeout=5) as response:
+            probe_routes.metrics = response.read().decode()
+
+    prober = threading.Thread(target=probe_routes)
+    prober.start()
+    code, out = run_cli(
+        capsys, "ops", "--duration", "3", "--rate", "30",
+        "--journal", journal_path, "--port-file", port_file,
+    )
+    prober.join(timeout=15)
+    assert code == 0
+    assert "ops endpoint: http://127.0.0.1:" in out
+    assert "run complete:" in out
+    assert probe_routes.health["components"]
+    assert "supervisor_pool_size" in probe_routes.metrics
+
+    code, out = run_cli(capsys, "timeline", journal_path)
+    assert code == 0
+    assert "Pool size over time" in out
+
+
 def test_parser_requires_subcommand():
     with pytest.raises(SystemExit):
         build_parser().parse_args([])
