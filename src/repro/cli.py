@@ -190,9 +190,10 @@ def _cmd_ops(args: argparse.Namespace) -> int:
     import time
 
     from repro.elasticity import PAPER_PARAMETERS, ReactiveProvisioner, SlaParameters
-    from repro.metadata import MemoryMetadataBackend
+    from repro.metadata import ShardedMetadataBackend
     from repro.mom import MessageBroker
-    from repro.objectmq import Broker, RemoteBroker, Supervisor
+    from repro.objectmq import Broker, RemoteBroker, ShardedSupervisor, Supervisor
+    from repro.objectmq.naming import shard_oid
     from repro.sync import (
         SYNC_SERVICE_OID,
         SyncServiceApi,
@@ -202,6 +203,7 @@ def _cmd_ops(args: argparse.Namespace) -> int:
     from repro.sync.models import ItemMetadata
     from repro.telemetry import DecisionJournal, OpsServer, SloEngine, default_rules
 
+    shards = args.shards
     journal = DecisionJournal(path=args.journal)
     slo = SloEngine(default_rules(), journal=journal)
     ops = OpsServer(journal=journal, slo=slo, port=args.port).start()
@@ -212,37 +214,64 @@ def _cmd_ops(args: argparse.Namespace) -> int:
     print("routes: /metrics /health /ready /events /slo")
 
     mom = MessageBroker()
-    metadata = MemoryMetadataBackend()
+    # The sharded composite with one shard IS the unsharded deployment
+    # (one engine, identity routing), so one code path serves both.
+    if args.backend == "sqlite":
+        metadata = ShardedMetadataBackend.sqlite(":memory:", shards)
+    else:
+        metadata = ShardedMetadataBackend.memory(shards)
     metadata.create_user("load")
-    metadata.create_workspace(Workspace(workspace_id="ws-load", owner="load"))
+    workspace_ids = [f"ws-load-{i}" for i in range(max(4, 2 * shards))]
+    for workspace_id in workspace_ids:
+        metadata.create_workspace(Workspace(workspace_id=workspace_id, owner="load"))
+    # Request queues: the base oid unsharded, one partitioned oid per
+    # shard otherwise (sync.shard.0 ... sync.shard.N-1).
+    if shards > 1:
+        oids = [shard_oid(SYNC_SERVICE_OID, k) for k in range(shards)]
+    else:
+        oids = [SYNC_SERVICE_OID]
 
     machines = []
     for name in ("machine-a", "machine-b"):
         broker = Broker(mom)
         rbroker = RemoteBroker(broker, broker_name=name)
-        rbroker.register_factory(
-            SYNC_SERVICE_OID,
-            sync_service_factory(metadata, broker, service_delay=lambda: 0.02),
-        )
+        factory = sync_service_factory(metadata, broker, service_delay=lambda: 0.02)
+        for oid in oids:
+            rbroker.register_factory(oid, factory)
         rbroker.serve()
         machines.append(rbroker)
 
     params = SlaParameters(d=0.2, s=0.02, sigma_b2=PAPER_PARAMETERS.sigma_b2)
     sup_broker = Broker(mom)
-    supervisor = Supervisor(
-        sup_broker,
-        SYNC_SERVICE_OID,
-        ReactiveProvisioner(predictive=None, params=params),
-        control_interval=0.5,
-        max_instances=8,
-        journal=journal,
-    )
-    supervisor.set_heartbeat_callback(slo.evaluate)
+    if shards > 1:
+        supervisor = ShardedSupervisor(
+            sup_broker,
+            SYNC_SERVICE_OID,
+            lambda: ReactiveProvisioner(predictive=None, params=params),
+            shards,
+            control_interval=0.5,
+            max_instances=8,
+            journal=journal,
+        )
+        supervisor.supervisors[0].set_heartbeat_callback(slo.evaluate)
+    else:
+        supervisor = Supervisor(
+            sup_broker,
+            SYNC_SERVICE_OID,
+            ReactiveProvisioner(predictive=None, params=params),
+            control_interval=0.5,
+            max_instances=8,
+            journal=journal,
+        )
+        supervisor.set_heartbeat_callback(slo.evaluate)
     supervisor.step()
     supervisor.start()
 
     client_broker = Broker(mom)
-    proxy = client_broker.lookup(SYNC_SERVICE_OID, SyncServiceApi)
+    if shards > 1:
+        proxy = client_broker.lookup_sharded(SYNC_SERVICE_OID, SyncServiceApi, shards)
+    else:
+        proxy = client_broker.lookup(SYNC_SERVICE_OID, SyncServiceApi)
     stop = threading.Event()
 
     def generate() -> None:
@@ -250,15 +279,16 @@ def _cmd_ops(args: argparse.Namespace) -> int:
         rng = random.Random(1)
         while not stop.is_set():
             counter += 1
+            workspace_id = rng.choice(workspace_ids)
             item = ItemMetadata(
-                item_id=f"ws-load:f{counter}",
-                workspace_id="ws-load",
+                item_id=f"{workspace_id}:f{counter}",
+                workspace_id=workspace_id,
                 version=1,
                 filename=f"f{counter}",
                 device_id="loadgen",
             )
             try:
-                proxy.commit_request("ws-load", "loadgen", [item])
+                proxy.commit_request(workspace_id, "loadgen", [item])
             except Exception:
                 if stop.is_set():
                     break
@@ -450,6 +480,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     ops.add_argument(
         "--rate", type=float, default=40.0, help="commit load, requests/second"
+    )
+    ops.add_argument(
+        "--shards", type=int, default=1,
+        help="partition the metadata plane and commit path N ways",
+    )
+    ops.add_argument(
+        "--backend", choices=("memory", "sqlite"), default="memory",
+        help="metadata engine behind each shard",
     )
     ops.add_argument(
         "--journal", metavar="PATH",

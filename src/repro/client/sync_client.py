@@ -156,6 +156,7 @@ class StackSyncClient:
         compressor: Optional[Compressor] = None,
         codec: str = "pickle",
         sync_oid: str = SYNC_SERVICE_OID,
+        shards: int = 1,
         batch_size: int = 1,
         local_db: Optional[LocalDatabase] = None,
         transfer: Optional[ChunkTransferManager] = None,
@@ -177,7 +178,16 @@ class StackSyncClient:
         )
         self.watcher = PollingWatcher(self.fs, on_event=self._on_watch_event)
         self.broker = Broker(mom, environment={"codec": codec, "client_id": self.device_id})
-        self.sync_service = self.broker.lookup(sync_oid, SyncServiceApi)
+        # shards > 1 selects the partitioned commit path: every
+        # SyncServiceApi method leads with its routing key (workspace or
+        # user id), so a ShardedProxy drops in transparently.  The count
+        # must match the server deployment; 1 is the paper's layout.
+        if shards > 1:
+            self.sync_service = self.broker.lookup_sharded(
+                sync_oid, SyncServiceApi, shards
+            )
+        else:
+            self.sync_service = self.broker.lookup(sync_oid, SyncServiceApi)
         self.stats = ClientTrafficStats()
         self._metrics_token = REGISTRY.register_source(
             "client_traffic",

@@ -24,6 +24,7 @@ first-writer-wins policy, with no rollback ever needed.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.errors import TransactionAborted
@@ -35,6 +36,30 @@ from repro.telemetry.trace import TRACER
 #: metadata when the proposal lost its first-writer-wins race (None when
 #: the proposal committed, or when the item does not exist at all).
 BulkOutcome = Tuple[bool, Optional[ItemMetadata]]
+
+
+@dataclass
+class WorkspaceDump:
+    """A self-contained export of one workspace, for shard migration.
+
+    ``users`` carries ``(user_id, name)`` for every user on the ACL so an
+    import can recreate missing accounts; ``versions`` maps each item to
+    its complete version chain, oldest first, including deleted items —
+    a migrated workspace must replay byte-identical histories.
+    """
+
+    workspace: Workspace
+    users: List[Tuple[str, str]] = field(default_factory=list)
+    acl: List[str] = field(default_factory=list)
+    versions: Dict[str, List[ItemMetadata]] = field(default_factory=dict)
+
+    @property
+    def item_count(self) -> int:
+        return len(self.versions)
+
+    @property
+    def version_count(self) -> int:
+        return sum(len(chain) for chain in self.versions.values())
 
 
 class MetadataBackend(ABC):
@@ -143,6 +168,42 @@ class MetadataBackend(ABC):
     @abstractmethod
     def item_history(self, item_id: str) -> List[ItemMetadata]:
         """All committed versions of *item_id*, oldest first."""
+
+    # -- migration (optional capability) -------------------------------------------
+
+    def export_workspace(self, workspace_id: str) -> "WorkspaceDump":
+        """Full dump of one workspace: record, ACL, every item version.
+
+        The migration primitive of the sharded metadata plane
+        (:meth:`repro.metadata.sharded.ShardedMetadataBackend.migrate_workspace`)
+        moves a workspace between shards via export → import → drop.
+        Engines that do not support migration may leave these three
+        methods unimplemented; everything else works without them.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support workspace export"
+        )
+
+    def import_workspace(self, dump: "WorkspaceDump") -> None:
+        """Load an :meth:`export_workspace` dump into this engine.
+
+        Users referenced by the ACL are created idempotently; importing a
+        workspace that already exists here raises
+        :class:`~repro.errors.MetadataError` (a migration must never
+        silently merge histories).
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support workspace import"
+        )
+
+    def drop_workspace(self, workspace_id: str) -> None:
+        """Remove a workspace, its ACL and all its item versions.
+
+        Users and devices are global (not workspace-scoped) and stay.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not support workspace drop"
+        )
 
     # -- introspection ---------------------------------------------------------------
 

@@ -11,15 +11,20 @@ import threading
 from typing import Dict, List, Optional, Set
 
 from repro.errors import MetadataError, TransactionAborted, UnknownWorkspace
-from repro.metadata.base import MetadataBackend
+from repro.metadata.base import MetadataBackend, WorkspaceDump
 from repro.sync.models import STATUS_DELETED, ItemMetadata, Workspace
 from repro.telemetry.control import HEALTH
 
 
 class MemoryMetadataBackend(MetadataBackend):
-    """Dictionary-backed implementation guarded by one re-entrant lock."""
+    """Dictionary-backed implementation guarded by one re-entrant lock.
 
-    def __init__(self) -> None:
+    Args:
+        probe_name: Health-registry component name; shard deployments pass
+            distinct names so ``/health`` tells the engines apart.
+    """
+
+    def __init__(self, probe_name: Optional[str] = None) -> None:
         self._lock = threading.RLock()
         self._users: Dict[str, str] = {}
         self._workspaces: Dict[str, Workspace] = {}
@@ -27,7 +32,9 @@ class MemoryMetadataBackend(MetadataBackend):
         self._versions: Dict[str, List[ItemMetadata]] = {}  # item -> versions
         self._workspace_items: Dict[str, Set[str]] = {}
         self._devices: Dict[str, Dict[str, str]] = {}  # user -> {device: name}
-        HEALTH.register("metadata:memory", self, MemoryMetadataBackend._health_probe)
+        HEALTH.register(
+            probe_name or "metadata:memory", self, MemoryMetadataBackend._health_probe
+        )
 
     def _health_probe(self) -> Dict[str, object]:
         """Ops-endpoint probe: the engine answers a trivial read."""
@@ -156,6 +163,46 @@ class MemoryMetadataBackend(MetadataBackend):
     def item_history(self, item_id: str) -> List[ItemMetadata]:
         with self._lock:
             return list(self._versions.get(item_id, ()))
+
+    # -- migration -------------------------------------------------------------------
+
+    def export_workspace(self, workspace_id: str) -> WorkspaceDump:
+        with self._lock:
+            self._require_workspace(workspace_id)
+            acl = sorted(self._acl.get(workspace_id, ()))
+            return WorkspaceDump(
+                workspace=self._workspaces[workspace_id],
+                users=[(u, self._users.get(u, u)) for u in acl],
+                acl=acl,
+                versions={
+                    item_id: list(self._versions[item_id])
+                    for item_id in sorted(self._workspace_items.get(workspace_id, ()))
+                },
+            )
+
+    def import_workspace(self, dump: WorkspaceDump) -> None:
+        workspace_id = dump.workspace.workspace_id
+        with self._lock:
+            if workspace_id in self._workspaces:
+                raise MetadataError(
+                    f"workspace {workspace_id!r} already exists here; "
+                    "refusing to merge histories"
+                )
+            for user_id, name in dump.users:
+                self._users.setdefault(user_id, name or user_id)
+            self._workspaces[workspace_id] = dump.workspace
+            self._acl[workspace_id] = set(dump.acl) | {dump.workspace.owner}
+            self._workspace_items[workspace_id] = set(dump.versions)
+            for item_id, chain in dump.versions.items():
+                self._versions[item_id] = list(chain)
+
+    def drop_workspace(self, workspace_id: str) -> None:
+        with self._lock:
+            self._require_workspace(workspace_id)
+            for item_id in self._workspace_items.pop(workspace_id, set()):
+                self._versions.pop(item_id, None)
+            self._acl.pop(workspace_id, None)
+            self._workspaces.pop(workspace_id, None)
 
     # -- introspection ---------------------------------------------------------------
 

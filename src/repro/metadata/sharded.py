@@ -1,0 +1,366 @@
+"""Workspace-partitioned metadata plane: N engines behind one DAO.
+
+The paper deploys a *single* PostgreSQL server — adequate for its
+testbed, but the obvious scalability ceiling of the architecture once
+the SyncService pool itself is elastic.  This module removes that
+ceiling without giving up the consistency contract: a
+:class:`ShardedMetadataBackend` composes N fully independent
+:class:`~repro.metadata.base.MetadataBackend` engines (memory or SQLite,
+one database file each) and routes every operation to exactly one of
+them by consistent-hashing the ``workspace_id``
+(:class:`~repro.routing.shard.ShardRouter`).
+
+Why this preserves Algorithm 1's guarantees with *zero* cross-shard
+transactions:
+
+* a workspace lives entirely on one shard, so every version chain is
+  owned by a single ACID engine — first-writer-wins races between
+  SyncService instances still serialize inside that engine exactly as
+  before;
+* users and devices are *broadcast* to every shard (tiny, write-rarely
+  tables), so ``create_workspace``'s owner check and ``grant_access``'s
+  user check resolve locally on whichever shard owns the workspace;
+* a commitRequest bundle only ever carries items of one workspace
+  (Algorithm 1 operates per workspace), so
+  :meth:`store_versions_bulk` is still one transaction on one engine in
+  the common case — and when handed a mixed bundle it degrades to one
+  transaction per involved shard with per-item outcomes reassembled in
+  input order.
+
+Item routing rides on the repo-wide item-id convention
+``"{workspace_id}:{filename}"``: reads that carry a prefixed id go
+straight to the owning shard; opaque ids fall back to scanning all
+shards (correct, just slower — the miss path of monitoring tools).
+
+Rebalancing: :meth:`migrate_workspace` moves one workspace between
+shards under a write fence — export, import, verify per-item history
+lengths, flip a routing override, drop the source copy.  The fence
+blocks new writes for that workspace only; all other workspaces commit
+concurrently throughout.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import MetadataError
+from repro.metadata.base import BulkOutcome, MetadataBackend
+from repro.metadata.memory_backend import MemoryMetadataBackend
+from repro.metadata.sqlite_backend import SqliteMetadataBackend
+from repro.routing.shard import ShardRouter
+from repro.sync.models import ItemMetadata, Workspace
+from repro.telemetry.control import HEALTH
+from repro.telemetry.registry import REGISTRY
+
+
+def workspace_of_item(item_id: str) -> Optional[str]:
+    """Routing key embedded in an item id, or None for opaque ids.
+
+    Item ids follow the ``"{workspace_id}:{filename}"`` convention
+    throughout the repo; ids without a separator cannot be routed and
+    force a scan of all shards.
+    """
+    if ":" in item_id:
+        return item_id.split(":", 1)[0]
+    return None
+
+
+class ShardedMetadataBackend(MetadataBackend):
+    """N independent metadata engines routed by workspace id.
+
+    Args:
+        engines: One :class:`MetadataBackend` per shard, index = shard id.
+        router: Optional pre-built router; must agree on the shard count.
+        probe_name: Health-registry component name for the composite.
+    """
+
+    def __init__(
+        self,
+        engines: Sequence[MetadataBackend],
+        router: Optional[ShardRouter] = None,
+        probe_name: str = "metadata:sharded",
+    ) -> None:
+        if not engines:
+            raise ValueError("need at least one engine")
+        if router is not None and router.num_shards != len(engines):
+            raise ValueError(
+                f"router covers {router.num_shards} shards "
+                f"but {len(engines)} engines were given"
+            )
+        self.engines: List[MetadataBackend] = list(engines)
+        self.router = router or ShardRouter(len(engines))
+        # Post-migration routing exceptions: workspace_id -> shard index.
+        self._overrides: Dict[str, int] = {}
+        # Write fence for in-flight migrations, guarded by one condition.
+        self._fence = threading.Condition()
+        self._fenced: set = set()
+        self._migrations = REGISTRY.counter(
+            "metadata_workspace_migrations_total"
+        )
+        for shard, engine in enumerate(self.engines):
+            REGISTRY.register_source(
+                "metadata_shard",
+                engine,
+                lambda e: {
+                    k: float(v) for k, v in e.counts().items()
+                },
+                shard=str(shard),
+                backend=type(engine).__name__,
+            )
+        HEALTH.register(probe_name, self, ShardedMetadataBackend._health_probe)
+
+    # -- constructors ----------------------------------------------------------------
+
+    @classmethod
+    def memory(cls, shards: int) -> "ShardedMetadataBackend":
+        """*shards* in-memory engines with distinct health probes."""
+        return cls(
+            [
+                MemoryMetadataBackend(probe_name=f"metadata:memory:shard{k}")
+                for k in range(shards)
+            ]
+        )
+
+    @classmethod
+    def sqlite(cls, path_prefix: str, shards: int) -> "ShardedMetadataBackend":
+        """*shards* SQLite engines, one database file each.
+
+        ``path_prefix=":memory:"`` yields independent in-memory
+        databases; otherwise shard *k* lives at
+        ``{path_prefix}.shard{k}.db``.
+        """
+        engines = []
+        for k in range(shards):
+            path = (
+                ":memory:"
+                if path_prefix == ":memory:"
+                else f"{path_prefix}.shard{k}.db"
+            )
+            engines.append(
+                SqliteMetadataBackend(
+                    path, probe_name=f"metadata:sqlite:shard{k}"
+                )
+            )
+        return cls(engines)
+
+    # -- routing ---------------------------------------------------------------------
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.engines)
+
+    def shard_for_workspace(self, workspace_id: str) -> int:
+        """Owning shard: migration overrides win over the hash ring."""
+        override = self._overrides.get(workspace_id)
+        if override is not None:
+            return override
+        return self.router.shard_for(workspace_id)
+
+    def engine_for_workspace(self, workspace_id: str) -> MetadataBackend:
+        return self.engines[self.shard_for_workspace(workspace_id)]
+
+    def _engine_for_item(self, item_id: str) -> Optional[MetadataBackend]:
+        workspace_id = workspace_of_item(item_id)
+        if workspace_id is None:
+            return None
+        return self.engine_for_workspace(workspace_id)
+
+    def _await_unfenced(self, workspace_id: str) -> None:
+        """Block while *workspace_id* is mid-migration (write fence)."""
+        with self._fence:
+            while workspace_id in self._fenced:
+                self._fence.wait()
+
+    def _health_probe(self) -> Dict[str, object]:
+        return {
+            "ok": True,
+            "shards": self.num_shards,
+            "overrides": len(self._overrides),
+            "fenced": len(self._fenced),
+        }
+
+    # -- accounts & workspaces (users/devices broadcast, workspaces routed) ----------
+
+    def create_user(self, user_id: str, name: str = "") -> None:
+        for engine in self.engines:
+            engine.create_user(user_id, name)
+
+    def create_workspace(self, workspace: Workspace) -> None:
+        self._await_unfenced(workspace.workspace_id)
+        self.engine_for_workspace(workspace.workspace_id).create_workspace(
+            workspace
+        )
+
+    def grant_access(self, workspace_id: str, user_id: str) -> None:
+        self._await_unfenced(workspace_id)
+        self.engine_for_workspace(workspace_id).grant_access(
+            workspace_id, user_id
+        )
+
+    def workspaces_for(self, user_id: str) -> List[Workspace]:
+        merged: Dict[str, Workspace] = {}
+        for engine in self.engines:
+            for workspace in engine.workspaces_for(user_id):
+                merged.setdefault(workspace.workspace_id, workspace)
+        return sorted(merged.values(), key=lambda w: w.workspace_id)
+
+    def workspace_exists(self, workspace_id: str) -> bool:
+        return self.engine_for_workspace(workspace_id).workspace_exists(
+            workspace_id
+        )
+
+    # -- devices (broadcast like users) ----------------------------------------------
+
+    def register_device(self, user_id: str, device_id: str, name: str = "") -> None:
+        for engine in self.engines:
+            engine.register_device(user_id, device_id, name)
+
+    def devices_for(self, user_id: str) -> List[str]:
+        return self.engines[0].devices_for(user_id)
+
+    # -- item versions ---------------------------------------------------------------
+
+    def get_current(self, item_id: str) -> Optional[ItemMetadata]:
+        engine = self._engine_for_item(item_id)
+        if engine is not None:
+            return engine.get_current(item_id)
+        for candidate in self.engines:
+            current = candidate.get_current(item_id)
+            if current is not None:
+                return current
+        return None
+
+    def store_new_object(self, metadata: ItemMetadata) -> None:
+        self._await_unfenced(metadata.workspace_id)
+        self.engine_for_workspace(metadata.workspace_id).store_new_object(
+            metadata
+        )
+
+    def store_new_version(self, metadata: ItemMetadata) -> None:
+        self._await_unfenced(metadata.workspace_id)
+        self.engine_for_workspace(metadata.workspace_id).store_new_version(
+            metadata
+        )
+
+    def store_versions_bulk(
+        self, proposals: List[ItemMetadata]
+    ) -> List[BulkOutcome]:
+        """Route a bundle; outcomes come back in input order.
+
+        A commitRequest bundle normally targets one workspace and hence
+        one shard — one transaction, exactly as unsharded.  Mixed
+        bundles are split into one transaction per involved shard;
+        per-item first-writer-wins semantics are unchanged because each
+        item's whole history lives on its own shard.
+        """
+        if not proposals:
+            return []
+        groups: Dict[int, List[int]] = {}
+        for index, proposal in enumerate(proposals):
+            self._await_unfenced(proposal.workspace_id)
+            shard = self.shard_for_workspace(proposal.workspace_id)
+            groups.setdefault(shard, []).append(index)
+        if len(groups) == 1:
+            shard = next(iter(groups))
+            return self.engines[shard].store_versions_bulk(proposals)
+        outcomes: List[Optional[BulkOutcome]] = [None] * len(proposals)
+        for shard, indices in groups.items():
+            shard_outcomes = self.engines[shard].store_versions_bulk(
+                [proposals[i] for i in indices]
+            )
+            for i, outcome in zip(indices, shard_outcomes):
+                outcomes[i] = outcome
+        return outcomes  # type: ignore[return-value]
+
+    def get_workspace_state(self, workspace_id: str) -> List[ItemMetadata]:
+        return self.engine_for_workspace(workspace_id).get_workspace_state(
+            workspace_id
+        )
+
+    def item_history(self, item_id: str) -> List[ItemMetadata]:
+        engine = self._engine_for_item(item_id)
+        if engine is not None:
+            return engine.item_history(item_id)
+        for candidate in self.engines:
+            history = candidate.item_history(item_id)
+            if history:
+                return history
+        return []
+
+    # -- rebalancing -----------------------------------------------------------------
+
+    def migrate_workspace(self, workspace_id: str, target_shard: int) -> Dict[str, int]:
+        """Move one workspace to *target_shard* under a write fence.
+
+        Sequence: fence writes for this workspace → export from the
+        source engine → import into the target → verify every item's
+        history length survived the copy → flip the routing override →
+        drop the source copy → lift the fence.  On verification failure
+        the half-imported copy is dropped from the target and routing is
+        untouched, so the source remains authoritative.
+
+        Returns a summary dict (source/target shard, items, versions).
+        """
+        if not 0 <= target_shard < self.num_shards:
+            raise ValueError(f"no shard {target_shard}")
+        with self._fence:
+            if workspace_id in self._fenced:
+                raise MetadataError(
+                    f"workspace {workspace_id!r} is already migrating"
+                )
+            source_shard = self.shard_for_workspace(workspace_id)
+            if source_shard == target_shard:
+                return {
+                    "source": source_shard,
+                    "target": target_shard,
+                    "items": 0,
+                    "versions": 0,
+                }
+            self._fenced.add(workspace_id)
+        try:
+            source = self.engines[source_shard]
+            target = self.engines[target_shard]
+            dump = source.export_workspace(workspace_id)
+            target.import_workspace(dump)
+            for item_id, chain in dump.versions.items():
+                moved = target.item_history(item_id)
+                if len(moved) != len(chain):
+                    target.drop_workspace(workspace_id)
+                    raise MetadataError(
+                        f"migration verification failed for {item_id!r}: "
+                        f"{len(moved)} != {len(chain)} versions"
+                    )
+            self._overrides[workspace_id] = target_shard
+            source.drop_workspace(workspace_id)
+            self._migrations.inc()
+            return {
+                "source": source_shard,
+                "target": target_shard,
+                "items": dump.item_count,
+                "versions": dump.version_count,
+            }
+        finally:
+            with self._fence:
+                self._fenced.discard(workspace_id)
+                self._fence.notify_all()
+
+    # -- introspection ---------------------------------------------------------------
+
+    def shard_counts(self) -> List[Dict[str, int]]:
+        """Per-shard row counts, index = shard id."""
+        return [engine.counts() for engine in self.engines]
+
+    def counts(self) -> Dict[str, int]:
+        """Aggregate counts: users are replicated (max), the rest sum."""
+        per_shard = self.shard_counts()
+        return {
+            "users": max(c["users"] for c in per_shard),
+            "workspaces": sum(c["workspaces"] for c in per_shard),
+            "items": sum(c["items"] for c in per_shard),
+            "versions": sum(c["versions"] for c in per_shard),
+        }
+
+    def close(self) -> None:
+        for engine in self.engines:
+            engine.close()

@@ -19,7 +19,7 @@ import threading
 from typing import Dict, List, Optional
 
 from repro.errors import MetadataError, TransactionAborted, UnknownWorkspace
-from repro.metadata.base import MetadataBackend
+from repro.metadata.base import MetadataBackend, WorkspaceDump
 from repro.sync.models import STATUS_DELETED, ItemMetadata, Workspace
 from repro.telemetry.control import HEALTH
 
@@ -63,9 +63,15 @@ CREATE INDEX IF NOT EXISTS idx_item_ws ON item_versions(workspace_id, item_id);
 
 
 class SqliteMetadataBackend(MetadataBackend):
-    """Relational metadata store over :mod:`sqlite3`."""
+    """Relational metadata store over :mod:`sqlite3`.
 
-    def __init__(self, path: str = ":memory:"):
+    Args:
+        path: Database file (``:memory:`` for an ephemeral engine).
+        probe_name: Health-registry component name; shard deployments pass
+            distinct names so ``/health`` tells the engines apart.
+    """
+
+    def __init__(self, path: str = ":memory:", probe_name: Optional[str] = None):
         self.path = path
         self._lock = threading.RLock()
         self._conn = sqlite3.connect(path, check_same_thread=False)
@@ -74,7 +80,9 @@ class SqliteMetadataBackend(MetadataBackend):
             if path != ":memory:":
                 self._conn.execute("PRAGMA journal_mode=WAL")
             self._conn.executescript(_SCHEMA)
-        HEALTH.register("metadata:sqlite", self, SqliteMetadataBackend._health_probe)
+        HEALTH.register(
+            probe_name or "metadata:sqlite", self, SqliteMetadataBackend._health_probe
+        )
 
     def _health_probe(self) -> Dict[str, object]:
         """Ops-endpoint probe: the database answers ``SELECT 1``."""
@@ -282,6 +290,103 @@ class SqliteMetadataBackend(MetadataBackend):
                 (item_id,),
             ).fetchall()
         return [self._row_to_item(r) for r in rows]
+
+    # -- migration -------------------------------------------------------------------
+
+    def export_workspace(self, workspace_id: str) -> WorkspaceDump:
+        with self._lock:
+            self._require_workspace(workspace_id)
+            ws_row = self._conn.execute(
+                "SELECT workspace_id, owner, name FROM workspaces "
+                "WHERE workspace_id = ?",
+                (workspace_id,),
+            ).fetchone()
+            acl_rows = self._conn.execute(
+                "SELECT wu.user_id, u.name FROM workspace_users wu "
+                "JOIN users u ON u.user_id = wu.user_id "
+                "WHERE wu.workspace_id = ? ORDER BY wu.user_id",
+                (workspace_id,),
+            ).fetchall()
+            version_rows = self._conn.execute(
+                "SELECT * FROM item_versions WHERE workspace_id = ? "
+                "ORDER BY item_id, version",
+                (workspace_id,),
+            ).fetchall()
+        versions: Dict[str, List[ItemMetadata]] = {}
+        for row in version_rows:
+            versions.setdefault(row[0], []).append(self._row_to_item(row))
+        return WorkspaceDump(
+            workspace=Workspace(
+                workspace_id=ws_row[0], owner=ws_row[1], name=ws_row[2]
+            ),
+            users=[(r[0], r[1]) for r in acl_rows],
+            acl=[r[0] for r in acl_rows],
+            versions=versions,
+        )
+
+    def import_workspace(self, dump: WorkspaceDump) -> None:
+        workspace_id = dump.workspace.workspace_id
+        with self._lock:
+            try:
+                self._conn.execute("BEGIN IMMEDIATE")
+                existing = self._conn.execute(
+                    "SELECT 1 FROM workspaces WHERE workspace_id = ?",
+                    (workspace_id,),
+                ).fetchone()
+                if existing is not None:
+                    raise MetadataError(
+                        f"workspace {workspace_id!r} already exists here; "
+                        "refusing to merge histories"
+                    )
+                for user_id, name in dump.users:
+                    self._conn.execute(
+                        "INSERT OR IGNORE INTO users(user_id, name) VALUES (?, ?)",
+                        (user_id, name or user_id),
+                    )
+                self._conn.execute(
+                    "INSERT OR IGNORE INTO users(user_id, name) VALUES (?, ?)",
+                    (dump.workspace.owner, dump.workspace.owner),
+                )
+                self._conn.execute(
+                    "INSERT INTO workspaces(workspace_id, owner, name) "
+                    "VALUES (?, ?, ?)",
+                    (workspace_id, dump.workspace.owner, dump.workspace.name),
+                )
+                for user_id in set(dump.acl) | {dump.workspace.owner}:
+                    self._conn.execute(
+                        "INSERT OR IGNORE INTO workspace_users(workspace_id, user_id)"
+                        " VALUES (?, ?)",
+                        (workspace_id, user_id),
+                    )
+                for chain in dump.versions.values():
+                    for metadata in chain:
+                        self._insert(metadata)
+                self._conn.execute("COMMIT")
+            except BaseException:
+                self._conn.execute("ROLLBACK")
+                raise
+
+    def drop_workspace(self, workspace_id: str) -> None:
+        with self._lock:
+            self._require_workspace(workspace_id)
+            try:
+                self._conn.execute("BEGIN IMMEDIATE")
+                self._conn.execute(
+                    "DELETE FROM item_versions WHERE workspace_id = ?",
+                    (workspace_id,),
+                )
+                self._conn.execute(
+                    "DELETE FROM workspace_users WHERE workspace_id = ?",
+                    (workspace_id,),
+                )
+                self._conn.execute(
+                    "DELETE FROM workspaces WHERE workspace_id = ?",
+                    (workspace_id,),
+                )
+                self._conn.execute("COMMIT")
+            except BaseException:
+                self._conn.execute("ROLLBACK")
+                raise
 
     # -- introspection ---------------------------------------------------------------
 

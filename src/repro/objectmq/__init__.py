@@ -37,7 +37,8 @@ from repro.objectmq.annotations import (
     sync_method,
 )
 from repro.objectmq.broker import Broker
-from repro.objectmq.naming import multi_exchange_name
+from repro.objectmq.naming import multi_exchange_name, parse_shard_oid, shard_oid
+from repro.objectmq.sharding import ShardedProxy
 from repro.objectmq.faults import CrashInjector
 from repro.objectmq.futures import RemoteFuture
 from repro.objectmq.ha import SupervisorNode
@@ -59,7 +60,12 @@ from repro.objectmq.provisioner import (
 from repro.objectmq.proxy import Proxy
 from repro.objectmq.remote_broker import REMOTE_BROKER_OID, RemoteBroker, RemoteBrokerApi
 from repro.objectmq.skeleton import Skeleton
-from repro.objectmq.supervisor import ArrivalMonitor, Supervisor, SupervisorRecord
+from repro.objectmq.supervisor import (
+    ArrivalMonitor,
+    ShardedSupervisor,
+    Supervisor,
+    SupervisorRecord,
+)
 
 __all__ = [
     "REMOTE_BROKER_OID",
@@ -83,6 +89,8 @@ __all__ = [
     "RemoteBroker",
     "RemoteBrokerApi",
     "RemoteFuture",
+    "ShardedProxy",
+    "ShardedSupervisor",
     "Skeleton",
     "Supervisor",
     "SupervisorNode",
@@ -93,6 +101,8 @@ __all__ = [
     "is_remote_interface",
     "multi_exchange_name",
     "multi_method",
+    "parse_shard_oid",
     "remote_interface",
+    "shard_oid",
     "sync_method",
 ]

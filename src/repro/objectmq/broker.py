@@ -210,6 +210,18 @@ class Broker:
         specs = interface_specs(interface)
         return Proxy(broker=self, oid=oid, specs=specs, interface_name=interface.__name__)
 
+    def lookup_sharded(self, oid: str, interface: Type, shards: int, route_arg: int = 0):
+        """Proxy for a partitioned oid: calls route by their first argument.
+
+        Returns a :class:`~repro.objectmq.sharding.ShardedProxy` covering
+        ``oid.shard.0`` … ``oid.shard.{shards-1}``.  ``shards=1`` is a
+        valid degenerate deployment (one partition, same semantics).
+        """
+        from repro.objectmq.sharding import ShardedProxy
+
+        self._check_open()
+        return ShardedProxy(self, oid, interface, shards, route_arg=route_arg)
+
     # -- plumbing shared with Proxy/Skeleton ------------------------------------------
 
     def register_waiter(self, correlation_id: str) -> _Waiter:

@@ -28,6 +28,7 @@ from typing import Deque, List, Optional, Tuple
 
 from repro.objectmq.broker import Broker
 from repro.objectmq.introspection import ObjectInfoSnapshot, PoolObservation
+from repro.objectmq.naming import parse_shard_oid, shard_oid
 from repro.objectmq.provisioner import Provisioner
 from repro.objectmq.remote_broker import REMOTE_BROKER_OID, RemoteBrokerApi
 from repro.telemetry.control import (
@@ -147,6 +148,11 @@ class Supervisor:
     ):
         self.broker = broker
         self.oid = oid
+        # A Supervisor over a partitioned oid (``sync.shard.3``) is just a
+        # plain Supervisor — per-shard queues are real queues — but it
+        # labels its journal entries and gauges with the shard so the
+        # control planes of N shards stay distinguishable.
+        self.base_oid, self.shard = parse_shard_oid(oid)
         self.provisioner = provisioner
         self.control_interval = control_interval
         self.min_instances = min_instances
@@ -241,6 +247,7 @@ class Supervisor:
                 KIND_DECISION,
                 observation.timestamp,
                 oid=self.oid,
+                shard=self.shard,
                 lam_obs=observation.arrival_rate,
                 lam_pred=getattr(self.provisioner, "last_prediction", None)
                 or self._predicted_rate(observation.timestamp),
@@ -271,6 +278,7 @@ class Supervisor:
                         KIND_SPAWN,
                         observation.timestamp,
                         oid=self.oid,
+                        shard=self.shard,
                         instance_id=instance_id,
                         reason=REASON_CRASH_REPAIR if repair else REASON_SCALE_UP,
                         policy_reason=reason,
@@ -285,6 +293,7 @@ class Supervisor:
                             KIND_SHUTDOWN,
                             observation.timestamp,
                             oid=self.oid,
+                            shard=self.shard,
                             instance_id=instance_id,
                             reason=REASON_SCALE_DOWN,
                             policy_reason=reason,
@@ -327,6 +336,8 @@ class Supervisor:
     ) -> None:
         """Publish control-plane gauges for SLO rules / the ops endpoint."""
         labels = {"oid": self.oid}
+        if self.shard is not None:
+            labels["shard"] = str(self.shard)
         REGISTRY.gauge("supervisor_pool_size", **labels).set(
             observation.instance_count + spawned - removed
         )
@@ -398,3 +409,77 @@ class Supervisor:
                 self.step()
             except Exception:  # noqa: BLE001 - the supervisor must survive hiccups
                 logger.exception("supervisor step failed")
+
+
+class ShardedSupervisor:
+    """One independent control loop per shard of a partitioned oid.
+
+    Each shard's queue has its own arrival process (its slice of the
+    workspace population), so each gets its own λ observation, its own
+    provisioner instance (policies carry state — EWMA predictors, last
+    thresholds) and its own pool target.  All loops share one
+    DecisionJournal; entries are distinguishable by their ``shard``
+    field, which the per-shard :class:`Supervisor` stamps automatically
+    from its oid.
+
+    Args:
+        broker: Connected ObjectMQ broker.
+        oid: The *base* oid (e.g. ``"sync"``); shard oids are derived.
+        provisioner_factory: Zero-arg callable building one fresh
+            policy instance per shard.
+        shards: Number of partitions.
+        journal: Shared decision journal (optional).
+        **supervisor_kwargs: Forwarded to every per-shard Supervisor
+            (control_interval, min/max_instances, ...).
+    """
+
+    def __init__(
+        self,
+        broker: Broker,
+        oid: str,
+        provisioner_factory,
+        shards: int,
+        journal: Optional[DecisionJournal] = None,
+        **supervisor_kwargs,
+    ):
+        if shards < 1:
+            raise ValueError("need at least one shard")
+        self.oid = oid
+        self.supervisors: List[Supervisor] = [
+            Supervisor(
+                broker,
+                shard_oid(oid, shard),
+                provisioner_factory(),
+                journal=journal,
+                **supervisor_kwargs,
+            )
+            for shard in range(shards)
+        ]
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.supervisors)
+
+    def step(self, now: Optional[float] = None) -> List[SupervisorRecord]:
+        """Run one control period on every shard; returns records in shard order."""
+        return [supervisor.step(now) for supervisor in self.supervisors]
+
+    def pool_sizes(self) -> List[int]:
+        """Currently enforced pool size per shard (0 before the first step)."""
+        sizes = []
+        for supervisor in self.supervisors:
+            records = supervisor.history.records
+            if records:
+                last = records[-1]
+                sizes.append(last.instances_before + last.spawned - last.removed)
+            else:
+                sizes.append(0)
+        return sizes
+
+    def start(self) -> None:
+        for supervisor in self.supervisors:
+            supervisor.start()
+
+    def stop(self) -> None:
+        for supervisor in self.supervisors:
+            supervisor.stop()

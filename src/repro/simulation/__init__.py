@@ -3,8 +3,11 @@
 from repro.simulation.autoscale import (
     AutoscaleSimulation,
     ControlRecord,
+    ShardedAutoscaleSimulation,
+    ShardedSimResult,
     SimConfig,
     SimResult,
+    split_arrivals,
 )
 from repro.simulation.des import EventLoop
 from repro.simulation.metrics import (
@@ -29,6 +32,8 @@ __all__ = [
     "EventLoop",
     "ServerPool",
     "ServiceTimeDistribution",
+    "ShardedAutoscaleSimulation",
+    "ShardedSimResult",
     "SimConfig",
     "SimResult",
     "boxplot_stats",
@@ -36,4 +41,5 @@ __all__ = [
     "fraction_above",
     "percentile",
     "poisson_arrival_times",
+    "split_arrivals",
 ]

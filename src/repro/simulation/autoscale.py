@@ -18,11 +18,12 @@ observed vs predicted arrival rates (Fig 8c).
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from dataclasses import dataclass, field, replace
+from typing import Callable, List, Optional, Tuple
 
 from repro.elasticity.ggone import PAPER_PARAMETERS, SlaParameters
 from repro.objectmq.introspection import PoolObservation
+from repro.objectmq.naming import parse_shard_oid, shard_oid
 from repro.objectmq.provisioner import Provisioner
 from repro.simulation.des import EventLoop
 from repro.simulation.metrics import boxplot_stats, bucket_by_time, fraction_above
@@ -125,6 +126,7 @@ class AutoscaleSimulation:
         provisioner: Provisioner,
         config: Optional[SimConfig] = None,
         journal: Optional[DecisionJournal] = None,
+        oid: str = "syncservice",
     ):
         self.arrivals = list(arrivals_per_second)
         self.provisioner = provisioner
@@ -132,6 +134,11 @@ class AutoscaleSimulation:
         #: When set, the control loop journals every decision and
         #: capacity action exactly like the live Supervisor does.
         self.journal = journal
+        #: Pool identity stamped on observations and journal entries; a
+        #: partitioned oid (``syncservice.shard.2``) also yields a shard
+        #: field on every entry, mirroring the live Supervisor.
+        self.oid = oid
+        self.shard = parse_shard_oid(oid)[1]
 
     # -- observation ---------------------------------------------------------------
 
@@ -177,6 +184,7 @@ class AutoscaleSimulation:
             KIND_DECISION,
             observation.timestamp,
             oid=observation.oid,
+            shard=self.shard,
             lam_obs=observation.arrival_rate,
             lam_pred=self._predicted_rate(observation.timestamp),
             interarrival_variance=observation.interarrival_variance,
@@ -195,6 +203,7 @@ class AutoscaleSimulation:
                 KIND_SPAWN,
                 observation.timestamp,
                 oid=observation.oid,
+                shard=self.shard,
                 reason=REASON_CRASH_REPAIR if repair else REASON_SCALE_UP,
                 policy_reason=reason,
                 decision_seq=decision.seq,
@@ -204,6 +213,7 @@ class AutoscaleSimulation:
                 KIND_SHUTDOWN,
                 observation.timestamp,
                 oid=observation.oid,
+                shard=self.shard,
                 reason=REASON_SCALE_DOWN,
                 policy_reason=reason,
                 decision_seq=decision.seq,
@@ -245,7 +255,7 @@ class AutoscaleSimulation:
             lam_obs, sigma_a2 = self._window_stats(now)
             census = pool.capacity
             observation = PoolObservation(
-                oid="syncservice",
+                oid=self.oid,
                 timestamp=timestamp,
                 instance_count=census,
                 queue_depth=pool.queue_depth,
@@ -282,3 +292,114 @@ class AutoscaleSimulation:
         result.total_arrivals = pool.total_arrivals
         result.total_completed = pool.total_completed
         return result
+
+
+def split_arrivals(
+    arrivals_per_second: List[int], shards: int, seed: int = 1
+) -> List[List[int]]:
+    """Split a per-second arrival trace across *shards* hash partitions.
+
+    Workspace hashing assigns each arrival to a shard independently and
+    uniformly, so each second's count is split multinomially (every
+    arrival draws its shard).  The split preserves totals exactly:
+    summing the returned traces recovers the input.
+    """
+    if shards < 1:
+        raise ValueError("need at least one shard")
+    rng = random.Random(seed)
+    traces: List[List[int]] = [[] for _ in range(shards)]
+    for count in arrivals_per_second:
+        second = [0] * shards
+        for _ in range(count):
+            second[rng.randrange(shards)] += 1
+        for shard, shard_count in enumerate(second):
+            traces[shard].append(shard_count)
+    return traces
+
+
+@dataclass
+class ShardedSimResult:
+    """Per-shard results of one partitioned auto-scaling run."""
+
+    shard_results: List[SimResult]
+    journal: Optional[DecisionJournal] = None
+
+    @property
+    def num_shards(self) -> int:
+        return len(self.shard_results)
+
+    @property
+    def total_arrivals(self) -> int:
+        return sum(r.total_arrivals for r in self.shard_results)
+
+    @property
+    def total_completed(self) -> int:
+        return sum(r.total_completed for r in self.shard_results)
+
+    def total_capacity_series(self) -> List[Tuple[float, int]]:
+        """Fleet-wide capacity over time (sum across shards per period)."""
+        merged: dict = {}
+        for result in self.shard_results:
+            for timestamp, capacity in result.capacity_series():
+                merged[timestamp] = merged.get(timestamp, 0) + capacity
+        return sorted(merged.items())
+
+    def max_total_capacity(self) -> int:
+        return max((c for _t, c in self.total_capacity_series()), default=0)
+
+    def response_times(self) -> List[float]:
+        times: List[float] = []
+        for result in self.shard_results:
+            times.extend(result.response_times())
+        return times
+
+    def sla_violation_fraction(self, sla: Optional[float] = None) -> float:
+        violations = [
+            r.sla_violation_fraction(sla) * len(r.response_times())
+            for r in self.shard_results
+        ]
+        total = len(self.response_times())
+        return sum(violations) / total if total else 0.0
+
+
+class ShardedAutoscaleSimulation:
+    """Trace-driven run of N independently supervised shard pools.
+
+    The aggregate trace is hash-split across shards
+    (:func:`split_arrivals`); each shard gets its own server pool, its
+    own provisioner instance (from *provisioner_factory*) and its own
+    control loop, exactly mirroring the live
+    :class:`~repro.objectmq.supervisor.ShardedSupervisor`.  A shared
+    journal receives every shard's entries, distinguishable by their
+    ``shard`` field.
+    """
+
+    def __init__(
+        self,
+        arrivals_per_second: List[int],
+        provisioner_factory: Callable[[], Provisioner],
+        shards: int,
+        config: Optional[SimConfig] = None,
+        journal: Optional[DecisionJournal] = None,
+        oid: str = "syncservice",
+    ):
+        config = config if config is not None else SimConfig()
+        traces = split_arrivals(arrivals_per_second, shards, seed=config.seed)
+        self.journal = journal
+        self.simulations = [
+            AutoscaleSimulation(
+                traces[shard],
+                provisioner_factory(),
+                # Distinct seeds keep shard service processes independent.
+                config=replace(config, seed=config.seed + shard),
+                journal=journal,
+                oid=shard_oid(oid, shard),
+            )
+            for shard in range(shards)
+        ]
+
+    def run(self) -> ShardedSimResult:
+        return ShardedSimResult(
+            shard_results=[simulation.run() for simulation in self.simulations],
+            journal=self.journal,
+        )

@@ -11,15 +11,18 @@ rollbacks).
 
 from __future__ import annotations
 
+import itertools
 import logging
 import threading
 import time
 import uuid
+from collections import OrderedDict
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional
 
 from repro.errors import UnknownWorkspace
 from repro.objectmq.broker import Broker
 from repro.telemetry.control import HEALTH
+from repro.telemetry.registry import REGISTRY
 from repro.telemetry.trace import TRACER
 
 if TYPE_CHECKING:  # avoid a circular import: metadata.base imports sync.models
@@ -46,22 +49,47 @@ class SyncService(HasObjectInfo):
         service_delay: Optional callable returning seconds of artificial
             processing time per commit — used by elasticity experiments to
             impose the paper's measured 50 ms mean service time.
+        workspace_proxy_cache_size: Maximum notification proxies kept
+            alive; least-recently-used entries are evicted beyond it.
+            A service instance commits for every workspace hashed to its
+            queue, so the cache must not grow with the workspace
+            population.
     """
+
+    #: Monotonic source for health-probe names.  ``id(self)`` is NOT a
+    #: stable identity: CPython reuses addresses after garbage collection,
+    #: so a respawned instance could silently replace the registry entry
+    #: of a dead sibling that had not been swept yet.
+    _probe_seq = itertools.count(1)
 
     def __init__(
         self,
         metadata: "MetadataBackend",
         broker: Broker,
         service_delay: Optional[Callable[[], float]] = None,
+        workspace_proxy_cache_size: int = 1024,
     ):
         self.metadata = metadata
         self.broker = broker
         self.service_delay = service_delay
         self._lock = threading.Lock()
-        self._workspace_proxies: Dict[str, object] = {}
+        if workspace_proxy_cache_size < 1:
+            raise ValueError("workspace_proxy_cache_size must be >= 1")
+        self._workspace_proxy_cache_size = workspace_proxy_cache_size
+        self._workspace_proxies: "OrderedDict[str, object]" = OrderedDict()
+        self._proxy_cache_hits = 0
+        self._proxy_cache_misses = 0
+        self._proxy_cache_evictions = 0
         self.commit_count = 0
         self.conflict_count = 0
-        HEALTH.register(f"sync:{id(self):x}", self, SyncService._health_probe)
+        self.health_probe_name = f"sync:{next(SyncService._probe_seq)}"
+        HEALTH.register(self.health_probe_name, self, SyncService._health_probe)
+        REGISTRY.register_source(
+            "sync_workspace_proxy_cache",
+            self,
+            SyncService._proxy_cache_scrape,
+            instance=self.health_probe_name,
+        )
 
     def _health_probe(self) -> Dict[str, object]:
         """Ops-endpoint probe: the service is wired and processing commits."""
@@ -70,6 +98,17 @@ class SyncService(HasObjectInfo):
             "commits": self.commit_count,
             "conflicts": self.conflict_count,
         }
+
+    def _proxy_cache_scrape(self) -> Dict[str, float]:
+        """Registry-source view of the notification-proxy cache."""
+        with self._lock:
+            return {
+                "size": float(len(self._workspace_proxies)),
+                "capacity": float(self._workspace_proxy_cache_size),
+                "hits": float(self._proxy_cache_hits),
+                "misses": float(self._proxy_cache_misses),
+                "evictions": float(self._proxy_cache_evictions),
+            }
 
     # -- SyncServiceApi implementation --------------------------------------------
 
@@ -157,11 +196,25 @@ class SyncService(HasObjectInfo):
     # -- internals -------------------------------------------------------------------
 
     def _workspace(self, workspace_id: str):
+        """LRU-cached proxy for the workspace's notification fanout."""
         with self._lock:
             proxy = self._workspace_proxies.get(workspace_id)
-            if proxy is None:
-                proxy = self.broker.lookup(workspace_oid(workspace_id), RemoteWorkspaceApi)
-                self._workspace_proxies[workspace_id] = proxy
+            if proxy is not None:
+                self._proxy_cache_hits += 1
+                self._workspace_proxies.move_to_end(workspace_id)
+                return proxy
+            self._proxy_cache_misses += 1
+        # Lookup outside the lock: proxy construction talks to the MOM
+        # (declares the fanout exchange) and must not serialize commits.
+        proxy = self.broker.lookup(workspace_oid(workspace_id), RemoteWorkspaceApi)
+        with self._lock:
+            existing = self._workspace_proxies.get(workspace_id)
+            if existing is not None:
+                return existing
+            self._workspace_proxies[workspace_id] = proxy
+            while len(self._workspace_proxies) > self._workspace_proxy_cache_size:
+                self._workspace_proxies.popitem(last=False)
+                self._proxy_cache_evictions += 1
             return proxy
 
 

@@ -2,16 +2,34 @@
 
 from __future__ import annotations
 
+import os
 import uuid
 
 import pytest
 
-from repro.metadata import MemoryMetadataBackend, SqliteMetadataBackend
+from repro.metadata import (
+    MemoryMetadataBackend,
+    ShardedMetadataBackend,
+    SqliteMetadataBackend,
+)
 from repro.mom import MessageBroker
 from repro.objectmq import Broker
 from repro.storage import SwiftLikeStore
 from repro.sync import SYNC_SERVICE_OID, SyncService, Workspace
 from repro.client import StackSyncClient
+
+
+def make_metadata_backend(kind: str):
+    """Build a metadata engine by name (also consumed by CI's matrix)."""
+    if kind == "memory":
+        return MemoryMetadataBackend()
+    if kind == "sqlite":
+        return SqliteMetadataBackend(":memory:")
+    if kind == "sharded":
+        return ShardedMetadataBackend.memory(3)
+    if kind == "sharded-sqlite":
+        return ShardedMetadataBackend.sqlite(":memory:", 3)
+    raise ValueError(f"unknown metadata backend {kind!r}")
 
 
 @pytest.fixture
@@ -28,12 +46,9 @@ def omq(mom):
     broker.close()
 
 
-@pytest.fixture(params=["memory", "sqlite"])
+@pytest.fixture(params=["memory", "sqlite", "sharded", "sharded-sqlite"])
 def metadata_backend(request):
-    if request.param == "memory":
-        backend = MemoryMetadataBackend()
-    else:
-        backend = SqliteMetadataBackend(":memory:")
+    backend = make_metadata_backend(request.param)
     yield backend
     backend.close()
 
@@ -46,9 +61,12 @@ def storage():
 class SyncTestbed:
     """A full single-process StackSync deployment for integration tests."""
 
-    def __init__(self, users=("alice",), instances=1):
+    def __init__(self, users=("alice",), instances=1, backend=None):
         self.mom = MessageBroker()
-        self.metadata = MemoryMetadataBackend()
+        # CI's backend matrix swaps the engine under every integration
+        # test via REPRO_METADATA_BACKEND without touching the tests.
+        backend = backend or os.environ.get("REPRO_METADATA_BACKEND", "memory")
+        self.metadata = make_metadata_backend(backend)
         self.storage = SwiftLikeStore(node_count=4, replicas=2)
         self.server_broker = Broker(self.mom)
         self.service = SyncService(self.metadata, self.server_broker)
