@@ -1,0 +1,412 @@
+"""The persistent performance trajectory: ``BENCH_*.json`` record + compare.
+
+The repo's perf claims were, until this module, point-in-time: every
+benchmark printed its numbers and threw them away, so nothing observed
+performance *across* PRs.  This module gives every run a durable record:
+
+* :class:`TrajectoryEntry` — one run of one benchmark: the git SHA it ran
+  at, a fingerprint of the configuration that shaped it, and a
+  ``phases`` map of named metric dicts (for the soak harness, one dict
+  per load phase; for an ablation, one per swept configuration).
+
+* :class:`Trajectory` — a versioned, append-only JSON file
+  (``BENCH_soak.json`` at the repo root is the canonical instance).
+  Loading, appending and saving never rewrites history: entries are only
+  ever added, so the file *is* the performance trajectory of the repo,
+  one entry per recorded run.
+
+* :func:`compare` — tolerance-banded regression detection between two
+  entries.  Deterministic metrics (the soak DES yields identical
+  commits/sec and latency percentiles for identical seed + config) are
+  compared within bands wide enough for cross-platform float noise but
+  far tighter than a real regression; a throughput drop or latency rise
+  past its band fails loudly, which is what lets CI diff a fresh smoke
+  run against the committed trajectory.
+
+Wall-clock metrics (ablation throughputs, migration latencies) ride in
+the same schema but are marked informational via
+:data:`INFORMATIONAL_PREFIX` so noisy hardware cannot fail a build.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import subprocess
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional
+
+#: Bump when the entry layout changes; loaders reject newer majors.
+SCHEMA_VERSION = 1
+
+#: Phase metrics whose key starts with this prefix are recorded but never
+#: compared: wall-clock readings vary with the hardware underneath.
+INFORMATIONAL_PREFIX = "wall_"
+
+#: Default per-metric tolerance bands, as fractional drift from the
+#: previous entry.  "lower is better" metrics fail on rises, "higher is
+#: better" on drops.  The throughput band must stay well under 0.20 so a
+#: 20% regression is always caught.
+DEFAULT_TOLERANCES: Dict[str, float] = {
+    "commits_per_sec": 0.10,        # higher is better
+    "p50_latency_s": 0.25,          # lower is better
+    "p99_latency_s": 0.50,          # lower is better
+}
+
+#: Count metrics compared exactly (the DES is deterministic; any drift
+#: means behaviour changed, not noise).
+EXACT_METRICS = ("alerts_fired", "alert_flaps")
+
+#: Metrics where a *higher* current value is the regression direction.
+LOWER_IS_BETTER = ("p50_latency_s", "p99_latency_s")
+
+
+def config_fingerprint(config: Mapping[str, Any]) -> str:
+    """Short stable digest of a run configuration.
+
+    Canonical-JSON SHA-256, truncated to 12 hex chars: enough to tell two
+    configurations apart at a glance in the trajectory file, stable
+    across Python versions and dict orderings.
+    """
+    canonical = json.dumps(config, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:12]
+
+
+def current_git_sha(cwd: Optional[str] = None) -> str:
+    """The HEAD commit stamped onto entries; degrades to env then 'unknown'."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short=12", "HEAD"],
+            cwd=cwd,
+            capture_output=True,
+            text=True,
+            timeout=10,
+            check=False,
+        )
+        if out.returncode == 0 and out.stdout.strip():
+            return out.stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        pass
+    return os.environ.get("GITHUB_SHA", "unknown")[:12] or "unknown"
+
+
+@dataclass
+class TrajectoryEntry:
+    """One recorded run: identity, configuration, per-phase metrics."""
+
+    git_sha: str
+    fingerprint: str
+    benchmark: str = "soak"
+    label: str = ""
+    recorded_at: float = 0.0
+    schema_version: int = SCHEMA_VERSION
+    #: ``{phase name: {metric: value}}``; values are numbers or None
+    #: (a phase that produced no sample records the absence explicitly).
+    phases: Dict[str, Dict[str, Optional[float]]] = field(default_factory=dict)
+    #: Run-level aggregates (total commits, runtime, population, ...).
+    totals: Dict[str, Optional[float]] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema_version": self.schema_version,
+            "benchmark": self.benchmark,
+            "recorded_at": self.recorded_at,
+            "git_sha": self.git_sha,
+            "fingerprint": self.fingerprint,
+            "label": self.label,
+            "phases": self.phases,
+            "totals": self.totals,
+        }
+
+    @classmethod
+    def from_dict(cls, raw: Mapping[str, Any]) -> "TrajectoryEntry":
+        version = int(raw.get("schema_version", 0))
+        if version > SCHEMA_VERSION:
+            raise ValueError(
+                f"trajectory entry has schema v{version}; "
+                f"this build reads up to v{SCHEMA_VERSION}"
+            )
+        return cls(
+            git_sha=str(raw.get("git_sha", "unknown")),
+            fingerprint=str(raw.get("fingerprint", "")),
+            benchmark=str(raw.get("benchmark", "soak")),
+            label=str(raw.get("label", "")),
+            recorded_at=float(raw.get("recorded_at", 0.0)),
+            schema_version=version,
+            phases={
+                str(name): dict(metrics)
+                for name, metrics in dict(raw.get("phases", {})).items()
+            },
+            totals=dict(raw.get("totals", {})),
+        )
+
+
+class Trajectory:
+    """A versioned append-only sequence of :class:`TrajectoryEntry`.
+
+    The on-disk form is one JSON object::
+
+        {"schema_version": 1, "benchmark": "soak", "entries": [...]}
+
+    ``append`` only ever extends ``entries``; ``save`` rewrites the file
+    but never drops or reorders what was loaded, so committed history is
+    preserved by construction.
+    """
+
+    def __init__(self, path: str, benchmark: str = "soak"):
+        self.path = path
+        self.benchmark = benchmark
+        self.entries: List[TrajectoryEntry] = []
+
+    @classmethod
+    def load(cls, path: str, benchmark: str = "soak") -> "Trajectory":
+        """Load *path*; a missing file yields an empty trajectory."""
+        trajectory = cls(path, benchmark=benchmark)
+        if not os.path.exists(path):
+            return trajectory
+        with open(path, "r", encoding="utf-8") as fh:
+            raw = json.load(fh)
+        version = int(raw.get("schema_version", 0))
+        if version > SCHEMA_VERSION:
+            raise ValueError(
+                f"{path} has schema v{version}; "
+                f"this build reads up to v{SCHEMA_VERSION}"
+            )
+        trajectory.benchmark = str(raw.get("benchmark", benchmark))
+        trajectory.entries = [
+            TrajectoryEntry.from_dict(entry) for entry in raw.get("entries", [])
+        ]
+        return trajectory
+
+    def append(self, entry: TrajectoryEntry) -> TrajectoryEntry:
+        if entry.benchmark != self.benchmark:
+            raise ValueError(
+                f"entry benchmark {entry.benchmark!r} does not match "
+                f"trajectory {self.benchmark!r}"
+            )
+        if not entry.recorded_at:
+            entry.recorded_at = time.time()
+        self.entries.append(entry)
+        return entry
+
+    def latest(self) -> Optional[TrajectoryEntry]:
+        return self.entries[-1] if self.entries else None
+
+    def save(self, path: Optional[str] = None) -> str:
+        path = path or self.path
+        payload = {
+            "schema_version": SCHEMA_VERSION,
+            "benchmark": self.benchmark,
+            "entries": [entry.to_dict() for entry in self.entries],
+        }
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        return path
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+# -- comparison --------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class MetricCheck:
+    """One compared metric: where it was, where it is, what was allowed."""
+
+    phase: str
+    metric: str
+    previous: Optional[float]
+    current: Optional[float]
+    allowed_drift: Optional[float]
+    ok: bool
+    note: str = ""
+
+
+@dataclass
+class ComparisonReport:
+    """The verdict of :func:`compare`: per-metric checks + regressions."""
+
+    previous_sha: str
+    current_sha: str
+    comparable: bool
+    checks: List[MetricCheck] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> List[MetricCheck]:
+        return [check for check in self.checks if not check.ok]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def render(self) -> str:
+        """ASCII report for the CLI / CI logs."""
+        from repro.bench.reporting import render_table
+
+        lines = [
+            f"trajectory compare: {self.previous_sha} -> {self.current_sha}"
+            + ("" if self.comparable else "  [configs differ: not compared]")
+        ]
+        lines.extend(f"  note: {note}" for note in self.notes)
+        if self.checks:
+            rows = [
+                [
+                    check.phase,
+                    check.metric,
+                    "n/a" if check.previous is None else f"{check.previous:.4g}",
+                    "n/a" if check.current is None else f"{check.current:.4g}",
+                    "exact" if check.allowed_drift is None
+                    else f"±{check.allowed_drift:.0%}",
+                    "ok" if check.ok else "REGRESSION",
+                ]
+                for check in self.checks
+            ]
+            lines.append(render_table(
+                ["phase", "metric", "previous", "current", "band", "verdict"],
+                rows,
+            ))
+        lines.append(
+            "verdict: OK" if self.ok
+            else f"verdict: {len(self.regressions)} regression(s)"
+        )
+        return "\n".join(lines)
+
+
+def compare(
+    current: TrajectoryEntry,
+    previous: TrajectoryEntry,
+    tolerances: Optional[Mapping[str, float]] = None,
+) -> ComparisonReport:
+    """Diff *current* against *previous* within tolerance bands.
+
+    Only entries with matching config fingerprints are numerically
+    compared — a deliberate config change (more users, different phases)
+    is a new baseline, not a regression.  Within a comparable pair:
+
+    * banded metrics (:data:`DEFAULT_TOLERANCES`) fail when they drift
+      past their band in the regression direction (throughput down,
+      latency up);
+    * exact metrics (:data:`EXACT_METRICS`) fail on any increase — a
+      soak that starts firing alerts has changed behaviour, full stop;
+    * metrics prefixed :data:`INFORMATIONAL_PREFIX` are ignored;
+    * a phase present before but missing now is a regression (coverage
+      shrank silently); a new phase is noted, not failed.
+    """
+    bands = dict(DEFAULT_TOLERANCES)
+    if tolerances:
+        bands.update(tolerances)
+    report = ComparisonReport(
+        previous_sha=previous.git_sha,
+        current_sha=current.git_sha,
+        comparable=current.fingerprint == previous.fingerprint,
+    )
+    if not report.comparable:
+        report.notes.append(
+            f"fingerprint changed {previous.fingerprint} -> "
+            f"{current.fingerprint}: new baseline, nothing compared"
+        )
+        return report
+
+    for phase, prev_metrics in previous.phases.items():
+        cur_metrics = current.phases.get(phase)
+        if cur_metrics is None:
+            report.checks.append(MetricCheck(
+                phase, "<phase>", None, None, None, ok=False,
+                note="phase disappeared from the run",
+            ))
+            continue
+        report.checks.extend(
+            _check_metrics(phase, prev_metrics, cur_metrics, bands)
+        )
+    for phase in current.phases:
+        if phase not in previous.phases:
+            report.notes.append(f"new phase {phase!r} (no baseline yet)")
+    return report
+
+
+def _check_metrics(
+    phase: str,
+    previous: Mapping[str, Optional[float]],
+    current: Mapping[str, Optional[float]],
+    bands: Mapping[str, float],
+) -> List[MetricCheck]:
+    checks: List[MetricCheck] = []
+    for metric in EXACT_METRICS:
+        prev = previous.get(metric)
+        cur = current.get(metric)
+        if prev is None and cur is None:
+            continue
+        grew = (cur or 0) > (prev or 0)
+        checks.append(MetricCheck(
+            phase, metric, prev, cur, None, ok=not grew,
+            note="" if not grew else "count increased",
+        ))
+    for metric, band in bands.items():
+        prev = previous.get(metric)
+        cur = current.get(metric)
+        if prev is None or cur is None:
+            # One side has no sample (e.g. an idle phase's p99): nothing
+            # to band. Flag only the case where data vanished.
+            vanished = prev is not None and cur is None
+            if prev is None and cur is None:
+                continue
+            checks.append(MetricCheck(
+                phase, metric, prev, cur, band, ok=not vanished,
+                note="no baseline sample" if prev is None else "sample vanished",
+            ))
+            continue
+        if metric in LOWER_IS_BETTER:
+            limit = prev * (1.0 + band)
+            ok = cur <= limit or cur - prev < 1e-9
+        else:
+            limit = prev * (1.0 - band)
+            ok = cur >= limit
+        checks.append(MetricCheck(
+            phase, metric, prev, cur, band, ok=ok,
+            note="" if ok else f"past the {band:.0%} band",
+        ))
+    return checks
+
+
+# -- shared benchmark recorder ------------------------------------------------------
+
+
+def record_benchmark_entry(
+    benchmark: str,
+    phases: Mapping[str, Mapping[str, Optional[float]]],
+    config: Mapping[str, Any],
+    totals: Optional[Mapping[str, Optional[float]]] = None,
+    label: str = "",
+    directory: Optional[str] = None,
+    git_sha: Optional[str] = None,
+) -> TrajectoryEntry:
+    """Build a trajectory entry for one benchmark run; optionally persist.
+
+    This is the one recorder every benchmark shares (the ablations call
+    it with their headline numbers), so all perf history lands in one
+    schema instead of bespoke JSON.  Persistence is opt-in: the entry is
+    appended to ``BENCH_<benchmark>.json`` under *directory* — defaulting
+    to the ``REPRO_BENCH_TRAJECTORY_DIR`` environment variable — and only
+    when a directory is configured, so plain test runs stay
+    side-effect-free.
+    """
+    entry = TrajectoryEntry(
+        git_sha=git_sha if git_sha is not None else current_git_sha(),
+        fingerprint=config_fingerprint(dict(config)),
+        benchmark=benchmark,
+        label=label,
+        phases={name: dict(metrics) for name, metrics in phases.items()},
+        totals=dict(totals or {}),
+    )
+    directory = directory or os.environ.get("REPRO_BENCH_TRAJECTORY_DIR")
+    if directory:
+        path = os.path.join(directory, f"BENCH_{benchmark}.json")
+        trajectory = Trajectory.load(path, benchmark=benchmark)
+        trajectory.append(entry)
+        trajectory.save()
+    return entry

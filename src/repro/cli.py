@@ -12,8 +12,12 @@ Installed as ``stacksync-repro`` (see pyproject); also runnable as
   top-N slowest spans per layer (optionally exporting JSONL / Chrome
   ``trace_event`` files and a metrics snapshot);
 * ``ops``         — boot the elastic SyncService demo stack with the ops
-  endpoint (``/metrics`` ``/health`` ``/ready`` ``/events`` ``/slo``),
-  a scaling-decision journal, and the SLO alert engine;
+  endpoint (``/metrics`` ``/health`` ``/ready`` ``/events`` ``/slo``
+  ``/bench``), a scaling-decision journal, and the SLO alert engine;
+* ``soak``        — run the scripted multi-phase soak (diurnal ramp,
+  flash crowd, rebalance storm) at up to registered-million-user scale,
+  verify its operational contract, and record/compare the performance
+  trajectory (``BENCH_soak.json``);
 * ``top``         — live terminal view of a running ops endpoint;
 * ``timeline``    — render a Fig-8-style provisioning timeline from a
   decision-journal JSONL file.
@@ -206,12 +210,14 @@ def _cmd_ops(args: argparse.Namespace) -> int:
     shards = args.shards
     journal = DecisionJournal(path=args.journal)
     slo = SloEngine(default_rules(), journal=journal)
-    ops = OpsServer(journal=journal, slo=slo, port=args.port).start()
+    ops = OpsServer(
+        journal=journal, slo=slo, bench_path=args.bench, port=args.port
+    ).start()
     if args.port_file:
         with open(args.port_file, "w", encoding="utf-8") as fh:
             fh.write(str(ops.port))
     print(f"ops endpoint: {ops.url}")
-    print("routes: /metrics /health /ready /events /slo")
+    print("routes: /metrics /health /ready /events /slo /bench")
 
     mom = MessageBroker()
     # The sharded composite with one shard IS the unsharded deployment
@@ -321,6 +327,91 @@ def _cmd_ops(args: argparse.Namespace) -> int:
         + (f"; journal at {args.journal}" if args.journal else "")
     )
     return 0
+
+
+def _cmd_soak(args: argparse.Namespace) -> int:
+    from repro.bench.soak import SoakConfig, SoakVerificationError, run_soak
+    from repro.bench.trajectory import Trajectory, compare, current_git_sha
+    from repro.telemetry import DecisionJournal
+
+    overrides = {
+        name: value
+        for name, value in (
+            ("users", args.users),
+            ("shards", args.shards),
+            ("seed", args.seed),
+            ("seconds_per_day", args.seconds_per_day),
+            ("migrations", args.migrations),
+        )
+        if value is not None
+    }
+    if args.phases:
+        overrides["phases"] = tuple(p.strip() for p in args.phases.split(","))
+    config = SoakConfig.smoke(**overrides) if args.smoke else SoakConfig(**overrides)
+
+    journal = None
+    if args.journal:
+        journal = DecisionJournal(
+            path=args.journal, max_sink_bytes=args.journal_max_bytes
+        )
+    print(
+        f"soak: {config.users:,} users, {config.shards} shard(s), "
+        f"phases {', '.join(config.phases)}, fingerprint {config.fingerprint()}"
+    )
+    try:
+        result = run_soak(config, journal=journal)
+    finally:
+        if journal is not None:
+            journal.close()
+
+    rows = [
+        [
+            record.name,
+            record.arrivals,
+            f"{record.commits_per_sec:.2f}",
+            "n/a" if record.p50_latency_s is None else f"{record.p50_latency_s:.3f}",
+            "n/a" if record.p99_latency_s is None else f"{record.p99_latency_s:.3f}",
+            f"{record.mean_pool_size:.1f}/{record.max_pool_size}",
+            record.spawns + record.shutdowns,
+            record.alerts_fired,
+            record.migrations,
+        ]
+        for record in result.records
+    ]
+    print(render_table(
+        ["phase", "commits", "commits/s", "p50 s", "p99 s",
+         "pool avg/max", "actions", "alerts", "migrations"],
+        rows,
+    ))
+    print(f"wall runtime: {result.wall_runtime_s:.1f}s; "
+          f"journal events: {len(result.journal)}")
+
+    try:
+        result.verify()
+        print("contract: OK (no alert flaps, every capacity action journaled)")
+    except SoakVerificationError as exc:
+        print(f"contract VIOLATED: {exc}", file=sys.stderr)
+        return 1
+
+    entry = result.to_entry(label=args.label)
+    status = 0
+    if args.compare:
+        trajectory = Trajectory.load(args.compare)
+        previous = trajectory.latest()
+        if previous is None:
+            print(f"compare: {args.compare} has no entries; nothing to diff")
+        else:
+            report = compare(entry, previous)
+            print(report.render())
+            if not report.ok:
+                status = 1
+    if args.record:
+        trajectory = Trajectory.load(args.record)
+        trajectory.append(entry)
+        trajectory.save()
+        print(f"recorded entry {current_git_sha()} -> {args.record} "
+              f"({len(trajectory)} entries)")
+    return status
 
 
 def _fetch_json(url: str):
@@ -497,7 +588,51 @@ def build_parser() -> argparse.ArgumentParser:
         "--port-file", metavar="PATH",
         help="write the bound port here (for scripts using --port 0)",
     )
+    ops.add_argument(
+        "--bench", metavar="PATH", default="BENCH_soak.json",
+        help="performance-trajectory file served at /bench",
+    )
     ops.set_defaults(func=_cmd_ops)
+
+    soak = sub.add_parser(
+        "soak",
+        help="run the scripted soak and record/compare the perf trajectory",
+    )
+    soak.add_argument(
+        "--smoke", action="store_true",
+        help="use the fast CI preset (10^5 users, 2 shards, compressed day)",
+    )
+    soak.add_argument("--users", type=int, default=None)
+    soak.add_argument("--shards", type=int, default=None)
+    soak.add_argument("--seed", type=int, default=None)
+    soak.add_argument(
+        "--phases", default=None,
+        help="comma-separated subset of: diurnal-ramp,flash-crowd,rebalance-storm",
+    )
+    soak.add_argument(
+        "--seconds-per-day", type=int, default=None,
+        help="trace seconds representing one day (86400 = real time)",
+    )
+    soak.add_argument("--migrations", type=int, default=None)
+    soak.add_argument("--label", default="", help="free-form tag on the entry")
+    soak.add_argument(
+        "--record", metavar="PATH",
+        help="append this run to the trajectory file (e.g. BENCH_soak.json)",
+    )
+    soak.add_argument(
+        "--compare", metavar="PATH",
+        help="diff this run against the trajectory's latest entry; "
+             "exit 1 on regression",
+    )
+    soak.add_argument(
+        "--journal", metavar="PATH",
+        help="also append the decision journal to this JSONL file",
+    )
+    soak.add_argument(
+        "--journal-max-bytes", type=int, default=None,
+        help="rotate the journal JSONL once it exceeds this size",
+    )
+    soak.set_defaults(func=_cmd_soak)
 
     top = sub.add_parser("top", help="live view of a running ops endpoint")
     top.add_argument(

@@ -93,7 +93,9 @@ class MessageBroker:
         REGISTRY.register_source(
             "mom_broker", self.stats, BrokerStats.snapshot, broker=name
         )
-        HEALTH.register(f"mom:{name}", self, MessageBroker._health_probe)
+        self._health_token = HEALTH.register(
+            f"mom:{name}", self, MessageBroker._health_probe
+        )
 
     def _health_probe(self) -> Dict[str, object]:
         """Ops-endpoint probe: the broker accepts publishes."""
@@ -274,6 +276,10 @@ class MessageBroker:
             self._queues.clear()
         for queue in queues:
             queue.close()
+        # A deliberately closed broker is decommissioned, not unhealthy:
+        # leaving the probe registered would poison /health for the rest
+        # of the process (the owner may stay referenced long after close).
+        HEALTH.unregister(self._health_token)
 
     # -- helpers --------------------------------------------------------------------
 

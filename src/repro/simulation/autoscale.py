@@ -127,6 +127,7 @@ class AutoscaleSimulation:
         config: Optional[SimConfig] = None,
         journal: Optional[DecisionJournal] = None,
         oid: str = "syncservice",
+        on_control_period: Optional[Callable[[PoolObservation, int], None]] = None,
     ):
         self.arrivals = list(arrivals_per_second)
         self.provisioner = provisioner
@@ -139,6 +140,12 @@ class AutoscaleSimulation:
         #: field on every entry, mirroring the live Supervisor.
         self.oid = oid
         self.shard = parse_shard_oid(oid)[1]
+        #: Optional per-control-period hook ``(observation, desired)``,
+        #: invoked after the decision is journaled and before capacity is
+        #: applied.  This is the scrape point the soak harness hangs
+        #: metrics-registry gauges and SLO evaluation off — the DES
+        #: equivalent of a Supervisor heartbeat callback.
+        self.on_control_period = on_control_period
 
     # -- observation ---------------------------------------------------------------
 
@@ -278,6 +285,8 @@ class AutoscaleSimulation:
             )
             if self.journal is not None:
                 self._journal_step(observation, proposal, desired, enforced[0])
+            if self.on_control_period is not None:
+                self.on_control_period(observation, desired)
             if desired != pool.capacity:
                 pool.set_capacity(desired)
             enforced[0] = desired
@@ -382,6 +391,7 @@ class ShardedAutoscaleSimulation:
         config: Optional[SimConfig] = None,
         journal: Optional[DecisionJournal] = None,
         oid: str = "syncservice",
+        on_control_period: Optional[Callable[[PoolObservation, int], None]] = None,
     ):
         config = config if config is not None else SimConfig()
         traces = split_arrivals(arrivals_per_second, shards, seed=config.seed)
@@ -394,6 +404,7 @@ class ShardedAutoscaleSimulation:
                 config=replace(config, seed=config.seed + shard),
                 journal=journal,
                 oid=shard_oid(oid, shard),
+                on_control_period=on_control_period,
             )
             for shard in range(shards)
         ]

@@ -73,7 +73,7 @@ from repro.telemetry.slo import (
     SloRule,
     default_rules,
 )
-from repro.telemetry.stats import percentile
+from repro.telemetry.stats import percentile, safe_percentile
 from repro.telemetry.trace import (
     DEQUEUED_AT_KEY,
     ENQUEUED_AT_KEY,
@@ -129,6 +129,7 @@ __all__ = [
     "load_jsonl",
     "percentile",
     "render_flame_table",
+    "safe_percentile",
     "spans_to_chrome_trace",
     "spans_to_jsonl",
     "top_spans_by_layer",

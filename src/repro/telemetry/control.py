@@ -92,17 +92,36 @@ class DecisionJournal:
 
     Args:
         capacity: In-memory ring size (old events fall off; an attached
-            file sink keeps everything).
+            file sink keeps everything, subject to ``max_sink_bytes``).
         path: Optional JSONL sink appended to on every event, so a
             long-running service leaves a durable operations log behind.
+        max_sink_bytes: Optional size cap on the JSONL sink.  A soak run
+            writes one decision plus its actions every control period per
+            shard; left unbounded, a 10^5-period soak produces a journal
+            file in the hundreds of megabytes.  When the next line would
+            push the file past the cap, the sink is *rotated*: rewritten
+            in place with the newest in-memory events that fit, so the
+            file always holds the most recent history (oldest lines fall
+            off, exactly like the in-memory ring).  The cap is honoured
+            to within one event line; :attr:`rotations` counts rewrites.
     """
 
-    def __init__(self, capacity: int = 100_000, path: Optional[str] = None):
+    def __init__(
+        self,
+        capacity: int = 100_000,
+        path: Optional[str] = None,
+        max_sink_bytes: Optional[int] = None,
+    ):
+        if max_sink_bytes is not None and max_sink_bytes <= 0:
+            raise ValueError("max_sink_bytes must be positive")
         self._lock = threading.Lock()
         self._events: Deque[JournalEvent] = deque(maxlen=capacity)
         self._seq = itertools.count(1)
         self._path = path
         self._sink = open(path, "a", encoding="utf-8") if path else None
+        self._max_sink_bytes = max_sink_bytes
+        self._sink_bytes = self._sink.tell() if self._sink is not None else 0
+        self.rotations = 0
         self.dropped = 0
 
     # -- writing ---------------------------------------------------------------
@@ -118,11 +137,52 @@ class DecisionJournal:
             event.seq = next(self._seq)
             if len(self._events) == self._events.maxlen:
                 self.dropped += 1
-            self._events.append(event)
             if self._sink is not None:
-                self._sink.write(json.dumps(event.to_dict(), sort_keys=True) + "\n")
+                line = json.dumps(event.to_dict(), sort_keys=True) + "\n"
+                nbytes = len(line.encode("utf-8"))
+                if (
+                    self._max_sink_bytes is not None
+                    and self._sink_bytes + nbytes > self._max_sink_bytes
+                ):
+                    self._rotate_sink(nbytes)
+                self._sink.write(line)
                 self._sink.flush()
+                self._sink_bytes += nbytes
+            self._events.append(event)
         return event
+
+    def _rotate_sink(self, incoming: int) -> None:
+        """Rewrite the sink with the newest events that fit under the cap.
+
+        Called with the lock held, before the incoming event (of
+        *incoming* encoded bytes) is written, so the rewritten prefix
+        plus the new line stays within ``max_sink_bytes`` whenever the
+        line itself fits.  The tail is trimmed to *half* the cap, not the
+        cap itself: rotating right up to the limit would leave no
+        headroom and force a full rewrite on every subsequent append.
+        """
+        budget = max(0, self._max_sink_bytes // 2 - incoming)
+        keep: List[str] = []
+        used = 0
+        for event in reversed(self._events):
+            line = json.dumps(event.to_dict(), sort_keys=True) + "\n"
+            nbytes = len(line.encode("utf-8"))
+            if used + nbytes > budget:
+                break
+            keep.append(line)
+            used += nbytes
+        keep.reverse()
+        self._sink.close()
+        self._sink = open(self._path, "w", encoding="utf-8")
+        self._sink.writelines(keep)
+        self._sink_bytes = used
+        self.rotations += 1
+
+    @property
+    def sink_bytes(self) -> int:
+        """Current size of the JSONL sink in bytes (0 without a sink)."""
+        with self._lock:
+            return self._sink_bytes
 
     # -- reading ---------------------------------------------------------------
 

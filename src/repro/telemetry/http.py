@@ -14,6 +14,8 @@ Route          Payload
 ``/ready``     JSON readiness (required probes only; 200 / 503)
 ``/events``    JSON tail of the scaling-decision journal (``?n=``, ``?kind=``)
 ``/slo``       JSON SLO rule status from the alert engine
+``/bench``     JSON tail of the performance trajectory (``?n=``), when the
+               server was given a ``bench_path``
 ``/``          JSON index of the routes above
 =============  ==================================================================
 
@@ -74,10 +76,17 @@ class _OpsHandler(BaseHTTPRequestHandler):
                 ))
             elif route == "/slo":
                 self._send_json(200, ops.slo_payload())
+            elif route == "/bench":
+                self._send_json(200, ops.bench_payload(
+                    n=int(query.get("n", ["5"])[0]),
+                ))
             elif route == "/":
                 self._send_json(200, {
                     "service": "stacksync-repro ops",
-                    "routes": ["/metrics", "/health", "/ready", "/events", "/slo"],
+                    "routes": [
+                        "/metrics", "/health", "/ready", "/events", "/slo",
+                        "/bench",
+                    ],
                 })
             else:
                 self._send_json(404, {"error": f"no route {route!r}"})
@@ -120,6 +129,10 @@ class OpsServer:
         health: Health registry backing ``/health``/``/ready`` (default:
             the process-wide one).
         slo: Alert engine backing ``/slo`` (optional).
+        bench_path: Performance-trajectory file backing ``/bench``
+            (optional — normally the repo's ``BENCH_soak.json``).  Read
+            fresh on every request so a soak appending to the file is
+            visible without restarting the endpoint.
         port: TCP port; 0 picks an ephemeral port (read it back from
             :attr:`port` after :meth:`start`).
     """
@@ -130,6 +143,7 @@ class OpsServer:
         journal: Optional[DecisionJournal] = None,
         health: Optional[HealthRegistry] = None,
         slo: Optional[SloEngine] = None,
+        bench_path: Optional[str] = None,
         host: str = "127.0.0.1",
         port: int = 0,
     ):
@@ -137,6 +151,7 @@ class OpsServer:
         self.journal = journal
         self.health = health if health is not None else HEALTH
         self.slo = slo
+        self.bench_path = bench_path
         self.host = host
         self._requested_port = port
         self._server: Optional[_OpsHTTPServer] = None
@@ -210,3 +225,19 @@ class OpsServer:
         if self.slo is None:
             return {"rules": [], "active": []}
         return {"rules": self.slo.status(), "active": self.slo.active_alerts()}
+
+    def bench_payload(self, n: int = 5) -> Dict[str, Any]:
+        if self.bench_path is None:
+            return {"path": None, "benchmark": None, "total": 0, "entries": []}
+        # Imported here: repro.bench pulls in the soak harness, which uses
+        # the telemetry package — a module-level import would be circular.
+        from repro.bench.trajectory import Trajectory
+
+        trajectory = Trajectory.load(self.bench_path)
+        entries = trajectory.entries[-max(0, n):] if n > 0 else []
+        return {
+            "path": self.bench_path,
+            "benchmark": trajectory.benchmark,
+            "total": len(trajectory),
+            "entries": [entry.to_dict() for entry in entries],
+        }

@@ -11,7 +11,7 @@ linear interpolation, so the two disagreed at small n (e.g. the median of
 from __future__ import annotations
 
 import math
-from typing import Sequence
+from typing import Optional, Sequence
 
 
 def percentile(values: Sequence[float], fraction: float) -> float:
@@ -32,3 +32,21 @@ def percentile(values: Sequence[float], fraction: float) -> float:
         return ordered[low]
     weight = rank - low
     return ordered[low] * (1 - weight) + ordered[high] * weight
+
+
+def safe_percentile(values: Sequence[float], fraction: float) -> Optional[float]:
+    """Percentile that degrades explicitly on degenerate samples.
+
+    :func:`percentile` maps an empty series to ``0.0``, which is the right
+    convention for a histogram summary but poisonous for scrape-time
+    reporting: a soak phase that saw no completions would record a
+    "p99 latency" of zero and look infinitely fast.  This variant keeps
+    the degenerate cases honest — ``None`` for an empty series, the lone
+    sample itself (for any *fraction*) when there is exactly one — and
+    otherwise defers to the shared implementation.
+    """
+    if not values:
+        return None
+    if len(values) == 1:
+        return float(values[0])
+    return percentile(values, fraction)

@@ -148,6 +148,69 @@ class UbuntuOneTraceGenerator:
         """The experiment input: per-second arrivals of day 8."""
         return self.arrivals(8)
 
+    # -- soak-phase segments ---------------------------------------------------------
+
+    def steady_arrivals(
+        self, day_index: int, hour: float, seconds: int
+    ) -> List[int]:
+        """Per-second arrivals for a *seconds*-long segment starting at *hour*.
+
+        The segment follows the day's actual rate profile (wrapping past
+        midnight), so a "steady" phase still carries the trace's noise —
+        it is a window of the day, not a flat synthetic rate.  Seeded
+        independently of :meth:`arrivals`, so soak phases drawn from the
+        same day as a full-day replay do not reuse its samples.
+        """
+        rates = self.rate_profile(day_index)
+        start = int((hour / 24.0) * len(rates)) % len(rates)
+        segment = [rates[(start + i) % len(rates)] for i in range(seconds)]
+        rng = random.Random(f"{self.seed}:{day_index}:steady:{hour}:{seconds}")
+        return [_poisson(rng, rate) for rate in segment]
+
+    def flash_crowd_arrivals(
+        self,
+        day_index: int,
+        hour: float,
+        seconds: int,
+        multiplier: float = 3.0,
+        ramp_fraction: float = 0.1,
+    ) -> List[int]:
+        """A steady segment with a flash crowd in its middle third.
+
+        The middle third of the window runs at *multiplier* times the
+        underlying diurnal rate, with linear ramps of ``ramp_fraction``
+        of the window on each edge — the "sudden but not instantaneous"
+        surge shape of a viral share or a service coming back from an
+        outage, which is the load pattern elasticity papers (and §5.3.3's
+        misprediction experiment) stress provisioners with.
+        """
+        if multiplier < 1.0:
+            raise ValueError("flash multiplier must be >= 1")
+        rates = self.rate_profile(day_index)
+        start = int((hour / 24.0) * len(rates)) % len(rates)
+        segment = [rates[(start + i) % len(rates)] for i in range(seconds)]
+        ramp = max(1, int(seconds * ramp_fraction))
+        surge_start = seconds // 3
+        surge_end = 2 * seconds // 3
+        for i in range(len(segment)):
+            if surge_start <= i < surge_end:
+                factor = multiplier
+            elif surge_start - ramp <= i < surge_start:
+                factor = 1.0 + (multiplier - 1.0) * (
+                    (i - (surge_start - ramp)) / ramp
+                )
+            elif surge_end <= i < surge_end + ramp:
+                factor = multiplier - (multiplier - 1.0) * (
+                    (i - surge_end) / ramp
+                )
+            else:
+                factor = 1.0
+            segment[i] *= factor
+        rng = random.Random(
+            f"{self.seed}:{day_index}:flash:{hour}:{seconds}:{multiplier}"
+        )
+        return [_poisson(rng, rate) for rate in segment]
+
     def peak_of(self, arrivals: List[int], window: Optional[int] = None) -> float:
         """Peak arrivals per minute of a per-second series."""
         if window is None:

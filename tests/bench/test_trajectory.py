@@ -1,0 +1,241 @@
+"""The performance trajectory: schema, append-only file, banded compare."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.bench.trajectory import (
+    DEFAULT_TOLERANCES,
+    SCHEMA_VERSION,
+    ComparisonReport,
+    Trajectory,
+    TrajectoryEntry,
+    compare,
+    config_fingerprint,
+    current_git_sha,
+    record_benchmark_entry,
+)
+
+
+def entry(sha="abc", fingerprint="f00", **phase_metrics):
+    metrics = {
+        "commits_per_sec": 100.0,
+        "p50_latency_s": 0.05,
+        "p99_latency_s": 0.20,
+        "alerts_fired": 0.0,
+        "alert_flaps": 0.0,
+    }
+    metrics.update(phase_metrics)
+    return TrajectoryEntry(
+        git_sha=sha, fingerprint=fingerprint,
+        phases={"diurnal-ramp": metrics},
+    )
+
+
+class TestFingerprint:
+    def test_stable_across_key_order(self):
+        assert config_fingerprint({"a": 1, "b": [2, 3]}) == config_fingerprint(
+            {"b": [2, 3], "a": 1}
+        )
+
+    def test_sensitive_to_values(self):
+        assert config_fingerprint({"users": 100}) != config_fingerprint(
+            {"users": 200}
+        )
+
+    def test_short_hex(self):
+        digest = config_fingerprint({})
+        assert len(digest) == 12
+        int(digest, 16)
+
+    def test_current_git_sha_in_repo(self):
+        sha = current_git_sha()
+        assert sha and sha != "unknown"
+
+
+class TestSchema:
+    def test_entry_round_trips(self):
+        original = entry()
+        assert TrajectoryEntry.from_dict(original.to_dict()) == original
+
+    def test_rejects_newer_schema(self):
+        raw = entry().to_dict()
+        raw["schema_version"] = SCHEMA_VERSION + 1
+        with pytest.raises(ValueError, match="schema"):
+            TrajectoryEntry.from_dict(raw)
+
+    def test_file_round_trips_and_is_versioned(self, tmp_path):
+        path = str(tmp_path / "BENCH_soak.json")
+        trajectory = Trajectory(path)
+        trajectory.append(entry(sha="one"))
+        trajectory.save()
+
+        raw = json.loads((tmp_path / "BENCH_soak.json").read_text())
+        assert raw["schema_version"] == SCHEMA_VERSION
+        assert raw["benchmark"] == "soak"
+
+        loaded = Trajectory.load(path)
+        assert len(loaded) == 1
+        assert loaded.latest().git_sha == "one"
+
+    def test_missing_file_loads_empty(self, tmp_path):
+        trajectory = Trajectory.load(str(tmp_path / "nope.json"))
+        assert len(trajectory) == 0 and trajectory.latest() is None
+
+    def test_append_only_across_loads(self, tmp_path):
+        path = str(tmp_path / "BENCH_soak.json")
+        first = Trajectory(path)
+        first.append(entry(sha="one"))
+        first.save()
+        second = Trajectory.load(path)
+        second.append(entry(sha="two"))
+        second.save()
+
+        loaded = Trajectory.load(path)
+        assert [e.git_sha for e in loaded.entries] == ["one", "two"]
+
+    def test_append_stamps_recorded_at(self):
+        trajectory = Trajectory("unused.json")
+        appended = trajectory.append(entry())
+        assert appended.recorded_at > 0
+
+    def test_append_rejects_benchmark_mismatch(self):
+        trajectory = Trajectory("unused.json", benchmark="soak")
+        other = entry()
+        other.benchmark = "ablation"
+        with pytest.raises(ValueError, match="does not match"):
+            trajectory.append(other)
+
+
+class TestCompare:
+    def test_identical_entries_pass(self):
+        report = compare(entry(sha="new"), entry(sha="old"))
+        assert report.comparable and report.ok
+        assert len(report.checks) > 0
+
+    def test_detects_injected_20pct_throughput_regression(self):
+        # The ISSUE's canary: a 20% commits/sec drop must fail loudly.
+        previous = entry(sha="old", commits_per_sec=100.0)
+        current = entry(sha="new", commits_per_sec=80.0)
+        report = compare(current, previous)
+        assert not report.ok
+        (regression,) = report.regressions
+        assert regression.metric == "commits_per_sec"
+        assert "REGRESSION" in report.render()
+
+    def test_throughput_within_band_passes(self):
+        report = compare(
+            entry(commits_per_sec=95.0), entry(commits_per_sec=100.0)
+        )
+        assert report.ok
+
+    def test_throughput_gain_passes(self):
+        report = compare(
+            entry(commits_per_sec=140.0), entry(commits_per_sec=100.0)
+        )
+        assert report.ok
+
+    def test_latency_rise_past_band_fails(self):
+        report = compare(entry(p99_latency_s=0.35), entry(p99_latency_s=0.20))
+        assert [r.metric for r in report.regressions] == ["p99_latency_s"]
+
+    def test_latency_drop_passes(self):
+        report = compare(entry(p99_latency_s=0.05), entry(p99_latency_s=0.20))
+        assert report.ok
+
+    def test_exact_metric_fails_on_any_increase(self):
+        report = compare(entry(alert_flaps=1.0), entry(alert_flaps=0.0))
+        assert [r.metric for r in report.regressions] == ["alert_flaps"]
+
+    def test_fingerprint_mismatch_is_new_baseline_not_regression(self):
+        report = compare(entry(fingerprint="aaa"), entry(fingerprint="bbb"))
+        assert not report.comparable
+        assert report.ok and report.checks == []
+        assert any("new baseline" in note for note in report.notes)
+
+    def test_disappeared_phase_is_a_regression(self):
+        previous = entry(sha="old")
+        current = TrajectoryEntry(git_sha="new", fingerprint="f00", phases={})
+        report = compare(current, previous)
+        assert not report.ok
+        assert report.regressions[0].note == "phase disappeared from the run"
+
+    def test_new_phase_is_noted_not_failed(self):
+        current = entry(sha="new")
+        current.phases["flash-crowd"] = {"commits_per_sec": 5.0}
+        report = compare(current, entry(sha="old"))
+        assert report.ok
+        assert any("flash-crowd" in note for note in report.notes)
+
+    def test_vanished_sample_fails_missing_baseline_passes(self):
+        vanished = compare(
+            entry(p99_latency_s=None), entry(p99_latency_s=0.2)
+        )
+        assert [r.metric for r in vanished.regressions] == ["p99_latency_s"]
+        no_baseline = compare(
+            entry(p99_latency_s=0.2), entry(p99_latency_s=None)
+        )
+        assert no_baseline.ok
+
+    def test_wall_clock_metrics_never_compared(self):
+        previous = entry(sha="old", wall_runtime_s=1.0)
+        current = entry(sha="new", wall_runtime_s=500.0)
+        report = compare(current, previous)
+        assert report.ok
+        assert all(c.metric != "wall_runtime_s" for c in report.checks)
+
+    def test_custom_tolerance_overrides_default(self):
+        previous = entry(commits_per_sec=100.0)
+        current = entry(commits_per_sec=80.0)
+        assert DEFAULT_TOLERANCES["commits_per_sec"] < 0.20
+        report = compare(current, previous, tolerances={"commits_per_sec": 0.5})
+        assert report.ok
+
+
+class TestRecordBenchmarkEntry:
+    def test_no_directory_means_no_file(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_TRAJECTORY_DIR", raising=False)
+        monkeypatch.chdir(tmp_path)
+        result = record_benchmark_entry(
+            "ablation_sharding",
+            phases={"memory-1shard": {"wall_commits_per_sec": 123.0}},
+            config={"shards": [1]},
+        )
+        assert result.fingerprint == config_fingerprint({"shards": [1]})
+        assert list(tmp_path.iterdir()) == []
+
+    def test_env_directory_persists_and_accumulates(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_TRAJECTORY_DIR", str(tmp_path))
+        for sha in ("one", "two"):
+            record_benchmark_entry(
+                "ablation_sharding",
+                phases={"memory-1shard": {"wall_commits_per_sec": 123.0}},
+                config={"shards": [1]},
+                git_sha=sha,
+            )
+        trajectory = Trajectory.load(
+            str(tmp_path / "BENCH_ablation_sharding.json"),
+            benchmark="ablation_sharding",
+        )
+        assert [e.git_sha for e in trajectory.entries] == ["one", "two"]
+        assert trajectory.benchmark == "ablation_sharding"
+
+    def test_explicit_directory_wins_over_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_TRAJECTORY_DIR", str(tmp_path / "env"))
+        explicit = tmp_path / "explicit"
+        explicit.mkdir()
+        record_benchmark_entry(
+            "soak", phases={}, config={}, directory=str(explicit),
+        )
+        assert (explicit / "BENCH_soak.json").exists()
+        assert not (tmp_path / "env").exists()
+
+
+def test_report_render_mentions_shas():
+    report = ComparisonReport(
+        previous_sha="aaa111", current_sha="bbb222", comparable=True
+    )
+    text = report.render()
+    assert "aaa111" in text and "bbb222" in text and "OK" in text

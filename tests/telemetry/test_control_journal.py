@@ -149,3 +149,84 @@ class TestHealthRegistry:
 
     def test_global_registry_exists(self):
         assert get_health_registry() is HEALTH
+
+
+class TestSinkRotation:
+    """The size-capped JSONL writer: long soaks cannot fill the disk."""
+
+    def test_unbounded_sink_unchanged(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        journal = DecisionJournal(path=str(path))
+        for i in range(10):
+            journal.append(KIND_DECISION, float(i), census=i)
+        journal.close()
+        assert len(path.read_text().splitlines()) == 10
+        assert journal.rotations == 0
+
+    def test_capped_sink_stays_within_cap_and_keeps_newest(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        cap = 64 * 1024
+        journal = DecisionJournal(capacity=1_000, path=str(path), max_sink_bytes=cap)
+        total = 100_000  # a 10^5-control-period soak
+        for i in range(total):
+            journal.append(KIND_DECISION, float(i), census=i, policy="reactive")
+        journal.close()
+
+        size = path.stat().st_size
+        assert size <= cap, f"sink grew to {size} B past the {cap} B cap"
+        assert journal.rotations > 0
+        # Rotation trims to half the cap: amortized O(1) per append, not
+        # a full rewrite every line.
+        assert journal.rotations < total // 100
+
+        with open(path, "r", encoding="utf-8") as fh:
+            events = load_journal_lines(fh)
+        assert events, "rotation must keep a tail, not truncate to nothing"
+        # The newest entry survives every rotation, and the kept tail is
+        # contiguous (no holes): exactly the newest lines that fit.
+        assert events[-1].seq == total
+        assert [e.seq for e in events] == list(
+            range(events[0].seq, total + 1)
+        )
+
+    def test_rotated_tail_round_trips_through_load(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        journal = DecisionJournal(capacity=50, path=str(path), max_sink_bytes=2048)
+        for i in range(1_000):
+            journal.append(KIND_SPAWN, float(i), reason=REASON_SCALE_UP)
+        journal.close()
+        loaded = DecisionJournal.load(str(path))
+        assert len(loaded) > 0
+        # Appending to a loaded journal continues the sequence.
+        assert loaded.append(KIND_DECISION, 0.0).seq == 1_001
+
+    def test_sink_bytes_tracks_file_size(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        journal = DecisionJournal(path=str(path), max_sink_bytes=10_000)
+        for i in range(20):
+            journal.append(KIND_DECISION, float(i))
+        assert journal.sink_bytes == path.stat().st_size
+        journal.close()
+
+    def test_reopened_sink_resumes_byte_accounting(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        first = DecisionJournal(path=str(path))
+        for i in range(5):
+            first.append(KIND_DECISION, float(i))
+        first.close()
+        second = DecisionJournal(path=str(path), max_sink_bytes=100_000)
+        assert second.sink_bytes == path.stat().st_size
+        second.close()
+
+    def test_rejects_non_positive_cap(self, tmp_path):
+        with pytest.raises(ValueError):
+            DecisionJournal(path=str(tmp_path / "j.jsonl"), max_sink_bytes=0)
+
+    def test_oversized_single_event_still_lands(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        journal = DecisionJournal(path=str(path), max_sink_bytes=64)
+        journal.append(KIND_DECISION, 1.0, reason="x" * 200)
+        journal.close()
+        with open(path, "r", encoding="utf-8") as fh:
+            events = load_journal_lines(fh)
+        assert len(events) == 1 and events[0].data["reason"] == "x" * 200

@@ -59,7 +59,7 @@ def test_index_lists_routes(stack):
     status, body = _get(ops.url + "/")
     assert status == 200
     assert set(json.loads(body)["routes"]) == {
-        "/metrics", "/health", "/ready", "/events", "/slo"
+        "/metrics", "/health", "/ready", "/events", "/slo", "/bench"
     }
 
 
@@ -161,3 +161,57 @@ def test_ephemeral_port_and_url(stack):
     *_rest, ops = stack
     assert ops.port > 0
     assert ops.url == f"http://127.0.0.1:{ops.port}"
+
+
+class TestBenchRoute:
+    def test_without_bench_path_serves_empty(self, stack):
+        *_rest, ops = stack
+        status, body = _get(ops.url + "/bench")
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["path"] is None and payload["entries"] == []
+
+    def test_serves_trajectory_tail_reading_file_fresh(self, tmp_path):
+        from repro.bench.trajectory import Trajectory, TrajectoryEntry
+
+        path = str(tmp_path / "BENCH_soak.json")
+        trajectory = Trajectory(path)
+        trajectory.append(TrajectoryEntry(
+            git_sha="aaa", fingerprint="f1",
+            phases={"diurnal-ramp": {"commits_per_sec": 10.0}},
+        ))
+        trajectory.save()
+
+        ops = OpsServer(
+            registry=MetricsRegistry(), health=HealthRegistry(),
+            bench_path=path,
+        ).start()
+        try:
+            status, body = _get(ops.url + "/bench")
+            assert status == 200
+            payload = json.loads(body)
+            assert payload["total"] == 1
+            assert payload["benchmark"] == "soak"
+            assert payload["entries"][0]["git_sha"] == "aaa"
+
+            # A run appending to the file is visible without a restart.
+            trajectory.append(TrajectoryEntry(git_sha="bbb", fingerprint="f1"))
+            trajectory.save()
+            _status, body = _get(ops.url + "/bench?n=1")
+            payload = json.loads(body)
+            assert payload["total"] == 2
+            assert [e["git_sha"] for e in payload["entries"]] == ["bbb"]
+        finally:
+            ops.stop()
+
+    def test_missing_file_serves_empty_trajectory(self, tmp_path):
+        ops = OpsServer(
+            registry=MetricsRegistry(), health=HealthRegistry(),
+            bench_path=str(tmp_path / "nope.json"),
+        ).start()
+        try:
+            status, body = _get(ops.url + "/bench")
+            assert status == 200
+            assert json.loads(body)["total"] == 0
+        finally:
+            ops.stop()

@@ -63,3 +63,41 @@ def test_does_not_mutate_input():
     values = [3.0, 1.0, 2.0]
     percentile(values, 0.5)
     assert values == [3.0, 1.0, 2.0]
+
+
+class TestSafePercentile:
+    """The scrape-time guard: degenerate series degrade, never lie or raise.
+
+    A soak phase that completed nothing (an idle night trough, a shard
+    with no traffic) must scrape to an explicit "no data" — not a fake
+    0.0 latency — and a single-sample phase reports that sample for any
+    requested fraction.
+    """
+
+    def test_empty_returns_none(self):
+        from repro.telemetry.stats import safe_percentile
+
+        assert safe_percentile([], 0.5) is None
+        assert safe_percentile([], 0.99) is None
+        assert safe_percentile((), 0.0) is None
+
+    def test_single_sample_returns_the_sample(self):
+        from repro.telemetry.stats import safe_percentile
+
+        assert safe_percentile([7.5], 0.0) == 7.5
+        assert safe_percentile([7.5], 0.5) == 7.5
+        assert safe_percentile([7.5], 0.99) == 7.5
+        assert isinstance(safe_percentile([3], 0.5), float)
+
+    @settings(max_examples=50, deadline=None)
+    @given(values=values_strategy, fraction=fraction_strategy)
+    def test_matches_percentile_on_real_samples(self, values, fraction):
+        from repro.telemetry.stats import safe_percentile
+
+        if len(values) >= 2:
+            assert safe_percentile(values, fraction) == percentile(values, fraction)
+
+    def test_exported_from_telemetry_package(self):
+        from repro import telemetry
+
+        assert telemetry.safe_percentile([], 0.99) is None

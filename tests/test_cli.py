@@ -143,3 +143,52 @@ def test_ops_command_serves_and_journals(capsys, tmp_path):
 def test_parser_requires_subcommand():
     with pytest.raises(SystemExit):
         build_parser().parse_args([])
+
+
+def test_soak_command_records_then_compares(capsys, tmp_path):
+    """The CI loop in miniature: run, record, rerun, compare clean."""
+    trajectory = str(tmp_path / "BENCH_soak.json")
+    args = [
+        "soak", "--smoke", "--users", "20000", "--shards", "1",
+        "--seconds-per-day", "60", "--migrations", "0",
+        "--phases", "diurnal-ramp,flash-crowd",
+    ]
+
+    code, out = run_cli(capsys, *args, "--record", trajectory)
+    assert code == 0
+    assert "contract: OK" in out
+    assert "recorded entry" in out
+
+    code, out = run_cli(capsys, *args, "--compare", trajectory)
+    assert code == 0
+    assert "verdict: OK" in out
+
+
+def test_soak_command_compare_flags_config_change(capsys, tmp_path):
+    trajectory = str(tmp_path / "BENCH_soak.json")
+    base = ["soak", "--smoke", "--users", "20000", "--shards", "1",
+            "--seconds-per-day", "60", "--migrations", "0",
+            "--phases", "diurnal-ramp"]
+    code, _out = run_cli(capsys, *base, "--record", trajectory)
+    assert code == 0
+    # A different user count is a new baseline, not a regression.
+    code, out = run_cli(
+        capsys, "soak", "--smoke", "--users", "40000", "--shards", "1",
+        "--seconds-per-day", "60", "--migrations", "0",
+        "--phases", "diurnal-ramp", "--compare", trajectory,
+    )
+    assert code == 0
+    assert "new baseline" in out
+
+
+def test_soak_command_writes_bounded_journal(capsys, tmp_path):
+    journal_path = tmp_path / "soak.jsonl"
+    code, out = run_cli(
+        capsys, "soak", "--smoke", "--users", "20000", "--shards", "1",
+        "--seconds-per-day", "60", "--migrations", "0",
+        "--phases", "diurnal-ramp",
+        "--journal", str(journal_path), "--journal-max-bytes", "65536",
+    )
+    assert code == 0
+    assert journal_path.exists()
+    assert journal_path.stat().st_size <= 65536
