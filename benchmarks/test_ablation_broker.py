@@ -1,0 +1,252 @@
+"""Ablation — the MOM broker hot path: commits/sec-per-shard baseline.
+
+ROADMAP item #1 will rebuild the broker dispatch path (batched
+enqueue/dequeue, publisher buffering, targeted wakeups); this experiment
+records the **before** picture it will be judged against.  Unlike the
+sharding ablation, commits carry *no* modelled metadata service time, so
+the wall-clock is almost pure middleware: proxy serialization, exchange
+routing, queue lock cycles, prefetch-1 round-robin dispatch, skeleton
+deserialization.
+
+Each shard count runs twice over identical commit streams:
+
+* a **plain** run (profiling plane off) whose commits/sec-per-shard is
+  the recorded baseline — no instrument cost in the headline number;
+* an **instrumented** run (lock timing + tracing + tail exemplars on)
+  that attributes the cost: per-lock wait/hold histograms from the
+  TimedLocks wired through the MOM layer, and an aggregate span
+  self-time breakdown naming the dominant critical-path segment
+  (queue-wait vs lock-wait vs dispatch vs sync vs metadata).
+
+The trajectory entry (``BENCH_ablation_broker.json``) carries the
+throughput and contention readings as informational ``wall_`` metrics,
+the deterministic commit/conflict counts as compared metrics, and the
+dominant segment in its label — so after the rewrite, the same benchmark
+shows both the speedup and where the time went.
+"""
+
+from __future__ import annotations
+
+import time
+
+from conftest import run_once
+
+from repro.bench import record_benchmark_entry, render_table
+from repro.metadata import ShardedMetadataBackend
+from repro.mom import MessageBroker
+from repro.objectmq import Broker, shard_oid
+from repro.sync import SYNC_SERVICE_OID, SyncService, Workspace
+from repro.sync.interface import SyncServiceApi
+from repro.sync.models import ItemMetadata
+from repro.telemetry import disable, enable, get_tracer
+from repro.telemetry.profiling import (
+    contention_snapshot,
+    disable_exemplars,
+    disable_lock_timing,
+    dominant_segment,
+    enable_exemplars,
+    enable_lock_timing,
+)
+from repro.telemetry.registry import REGISTRY
+
+SHARD_COUNTS = [1, 2, 4]
+WORKSPACES = 32
+FILES = ["a.txt", "b.txt"]
+VERSIONS = 2
+#: Lock families the MOM wiring must expose in every contention report.
+EXPECTED_LOCK_FAMILIES = ("mom.queue.", "mom.broker.")
+
+
+def run_commit_stream(shards: int, instrumented: bool):
+    """One fresh deployment; returns throughput and, if instrumented,
+    the contention snapshot + span-layer breakdown of the same stream."""
+    if instrumented:
+        # Fresh series so the attribution covers exactly this stream.
+        REGISTRY.clear()
+        enable_lock_timing()
+        tracer = enable()
+        reservoir = enable_exemplars(min_samples=16, capacity=8)
+    try:
+        mom = MessageBroker()
+        metadata = ShardedMetadataBackend.memory(shards)
+        metadata.create_user("bench-user")
+        workspace_ids = [f"ws-{i:02d}" for i in range(WORKSPACES)]
+        for workspace_id in workspace_ids:
+            metadata.create_workspace(
+                Workspace(workspace_id=workspace_id, owner="bench-user")
+            )
+        server = Broker(mom)
+        services = []
+        for shard in range(shards):
+            service = SyncService(metadata, server)
+            services.append(service)
+            server.bind(shard_oid(SYNC_SERVICE_OID, shard), service)
+        client = Broker(mom)
+        proxy = client.lookup_sharded(SYNC_SERVICE_OID, SyncServiceApi, shards)
+
+        total = WORKSPACES * len(FILES) * VERSIONS
+        t0 = time.perf_counter()
+        for version in range(1, VERSIONS + 1):
+            for workspace_id in workspace_ids:
+                for filename in FILES:
+                    item = ItemMetadata(
+                        item_id=f"{workspace_id}:{filename}",
+                        workspace_id=workspace_id,
+                        version=version,
+                        filename=filename,
+                        device_id="bench",
+                    )
+                    proxy.commit_request(workspace_id, "bench", [item])
+        deadline = time.monotonic() + 60.0
+        while sum(s.commit_count for s in services) < total:
+            if time.monotonic() > deadline:
+                raise AssertionError("commit stream did not drain")
+            time.sleep(0.002)
+        elapsed = time.perf_counter() - t0
+
+        result = {
+            "elapsed": elapsed,
+            "throughput": total / elapsed,
+            "commits": total,
+            "conflicts": sum(s.conflict_count for s in services),
+        }
+        if instrumented:
+            result["contention"] = contention_snapshot()
+            spans = tracer.spans()
+            result["spans"] = len(spans)
+            segment, seconds, fraction = dominant_segment(spans)
+            result["dominant"] = segment
+            result["dominant_fraction"] = fraction
+            result["exemplars"] = len(reservoir)
+        client.close()
+        server.close()
+        mom.close()
+        metadata.close()
+    finally:
+        if instrumented:
+            disable()
+            disable_exemplars()
+            disable_lock_timing()
+    return result
+
+
+def run_experiment():
+    return {
+        shards: {
+            "plain": run_commit_stream(shards, instrumented=False),
+            "instrumented": run_commit_stream(shards, instrumented=True),
+        }
+        for shards in SHARD_COUNTS
+    }
+
+
+def test_ablation_broker_hot_path(benchmark):
+    results = run_once(benchmark, run_experiment)
+
+    rows = []
+    for shards in SHARD_COUNTS:
+        plain = results[shards]["plain"]
+        instr = results[shards]["instrumented"]
+        rows.append([
+            shards,
+            f"{plain['elapsed']:.3f}",
+            f"{plain['throughput']:.0f}",
+            f"{plain['throughput'] / shards:.0f}",
+            f"{instr['throughput']:.0f}",
+            instr["dominant"],
+        ])
+    print("\nAblation: MOM broker hot path (no modelled service time)")
+    print(render_table(
+        [
+            "shards", "wall s", "commits/s", "per shard",
+            "instrumented c/s", "dominant segment",
+        ],
+        rows,
+    ))
+
+    # Contention attribution at the largest sweep point: where does the
+    # middleware spend its lock time?
+    contention = results[SHARD_COUNTS[-1]]["instrumented"]["contention"]
+    lock_rows = []
+    for name in sorted(contention):
+        entry = contention[name]
+        wait = entry.get("wait", {})
+        hold = entry.get("hold", {})
+        lock_rows.append([
+            name,
+            int(entry.get("acquisitions", 0)),
+            f"{wait.get('sum', 0.0) * 1000:.2f}",
+            f"{hold.get('sum', 0.0) * 1000:.2f}",
+        ])
+    print(render_table(
+        ["lock", "acquisitions", "wait ms", "hold ms"], lock_rows
+    ))
+
+    # The "before" entry for the broker rewrite.  Timing and contention
+    # readings are machine-dependent (wall_ = recorded, not compared);
+    # the commit/conflict counts are the deterministic contract.
+    final = results[SHARD_COUNTS[-1]]["instrumented"]
+    record_benchmark_entry(
+        "ablation_broker",
+        phases={
+            f"{shards}shard": {
+                "wall_elapsed_s": results[shards]["plain"]["elapsed"],
+                "wall_commits_per_sec": results[shards]["plain"]["throughput"],
+                "wall_commits_per_sec_per_shard": (
+                    results[shards]["plain"]["throughput"] / shards
+                ),
+                "wall_instrumented_commits_per_sec": (
+                    results[shards]["instrumented"]["throughput"]
+                ),
+                "commits": float(results[shards]["plain"]["commits"]),
+                "conflicts": float(results[shards]["plain"]["conflicts"]),
+            }
+            for shards in SHARD_COUNTS
+        },
+        config={
+            "shard_counts": SHARD_COUNTS,
+            "workspaces": WORKSPACES,
+            "files": FILES,
+            "versions": VERSIONS,
+            "service_delay_s": 0.0,
+        },
+        totals={
+            "wall_lock_wait_ms_4shard": sum(
+                entry.get("wait", {}).get("sum", 0.0)
+                for entry in contention.values()
+            ) * 1000,
+            "wall_lock_hold_ms_4shard": sum(
+                entry.get("hold", {}).get("sum", 0.0)
+                for entry in contention.values()
+            ) * 1000,
+            "wall_dominant_fraction": final["dominant_fraction"],
+        },
+        label=f"dominant={final['dominant']}",
+    )
+
+    for shards in SHARD_COUNTS:
+        for mode in ("plain", "instrumented"):
+            run = results[shards][mode]
+            assert run["commits"] == WORKSPACES * len(FILES) * VERSIONS
+            assert run["conflicts"] == 0
+            assert run["throughput"] > 0
+
+        # Contention attribution must cover every instrumented MOM lock
+        # family touched by the stream, with both sides of the story
+        # (wait + hold) recorded for each metered lock.
+        snapshot = results[shards]["instrumented"]["contention"]
+        for family in EXPECTED_LOCK_FAMILIES:
+            assert any(name.startswith(family) for name in snapshot), (
+                f"no {family}* lock in the {shards}-shard contention report"
+            )
+        for name, entry in snapshot.items():
+            assert entry.get("acquisitions", 0) > 0, name
+            assert entry.get("wait", {}).get("count", 0) > 0, name
+            assert entry.get("hold", {}).get("count", 0) > 0, name
+
+        # The critical-path verdict names a real segment of the commit
+        # path — this is the attribution the broker rewrite must move.
+        assert results[shards]["instrumented"]["dominant"] in {
+            "queue-wait", "lock-wait", "dispatch", "sync", "proxy",
+            "metadata", "client",
+        }

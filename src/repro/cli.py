@@ -11,6 +11,10 @@ Installed as ``stacksync-repro`` (see pyproject); also runnable as
 * ``telemetry``   — replay a small trace with tracing on and print the
   top-N slowest spans per layer (optionally exporting JSONL / Chrome
   ``trace_event`` files and a metrics snapshot);
+* ``profile``     — replay with the full profiling plane on: wall-clock
+  stack samples (collapsed-stack / Chrome flamegraph export), per-lock
+  wait/hold contention, span self-time breakdown, and tail exemplars
+  with their dominant critical-path segment;
 * ``ops``         — boot the elastic SyncService demo stack with the ops
   endpoint (``/metrics`` ``/health`` ``/ready`` ``/events`` ``/slo``
   ``/bench``), a scaling-decision journal, and the SLO alert engine;
@@ -185,6 +189,132 @@ def _cmd_telemetry(args: argparse.Namespace) -> int:
     if args.metrics:
         print("\n-- metrics snapshot --")
         print(get_registry().render_prometheus(), end="")
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    """Profile the hot path: sampler + lock contention + tail exemplars.
+
+    Replays a workload trace through the full live stack (MOM broker,
+    ObjectMQ, SyncService, metadata, storage) with every profiling-plane
+    instrument on, then reports where the wall-clock went.
+    """
+    import json as json_mod
+
+    from repro.telemetry import disable, enable, get_registry, get_tracer
+    from repro.telemetry.profiling import (
+        StackSampler,
+        contention_snapshot,
+        disable_exemplars,
+        disable_lock_timing,
+        enable_exemplars,
+        enable_lock_timing,
+        segment_breakdown,
+    )
+
+    from repro.bench.overhead import replay_stacksync
+    from repro.workload import TraceGenerator
+
+    trace = TraceGenerator(
+        initial_files=args.initial_files,
+        training_iterations=args.training,
+        snapshots=args.snapshots,
+        seed=args.seed,
+    ).generate()
+
+    sampler = StackSampler(hz=args.hz)
+    tracer = enable()
+    enable_lock_timing()
+    reservoir = enable_exemplars(min_samples=16, capacity=8)
+    sampler.start()
+    try:
+        report = replay_stacksync(trace)
+    finally:
+        sampler.stop()
+        disable()
+        disable_exemplars()
+        disable_lock_timing()
+
+    spans = tracer.spans()
+    print(
+        f"replayed {len(trace)} op(s): {sampler.sample_count} stack sample(s) "
+        f"at {args.hz:g} Hz, {len(spans)} span(s), "
+        f"control {report.control_bytes} B, storage {report.storage_bytes} B"
+    )
+
+    print("\n-- hottest frames (wall-clock samples) --")
+    hottest = sampler.hottest(args.top)
+    if hottest:
+        print(render_table(
+            ["frame", "samples"],
+            [[frame, count] for frame, count in hottest],
+        ))
+    else:
+        print("(no samples collected — replay finished between ticks)")
+
+    snapshot = contention_snapshot(get_registry())
+    print("\n-- lock contention --")
+    rows = []
+    for name in sorted(snapshot):
+        entry = snapshot[name]
+        wait = entry.get("wait", {})
+        hold = entry.get("hold", {})
+        rows.append([
+            name,
+            int(entry.get("acquisitions", 0)),
+            f"{wait.get('sum', 0.0) * 1000:.2f}",
+            f"{wait.get('p99', 0.0) * 1e6:.0f}",
+            f"{hold.get('sum', 0.0) * 1000:.2f}",
+        ])
+    print(render_table(
+        ["lock", "acquisitions", "wait ms", "wait p99 us", "hold ms"], rows
+    ))
+
+    print("\n-- where the wall-clock goes (span self-time) --")
+    breakdown = segment_breakdown(spans)
+    total = sum(breakdown.values()) or 1.0
+    print(render_table(
+        ["segment", "seconds", "share"],
+        [
+            [segment, f"{seconds:.3f}", f"{seconds / total:.1%}"]
+            for segment, seconds in sorted(
+                breakdown.items(), key=lambda kv: -kv[1]
+            )
+        ],
+    ))
+
+    exemplars = reservoir.exemplars()
+    print(f"\n-- tail exemplars ({len(exemplars)} kept of "
+          f"{reservoir.roots_seen} roots) --")
+    for exemplar in exemplars[: args.top]:
+        segment, seconds, fraction = exemplar.dominant_segment()
+        flag = " [error]" if exemplar.errored else ""
+        print(
+            f"  {exemplar.root_name}{flag}: {exemplar.duration * 1000:.1f} ms, "
+            f"{len(exemplar.spans)} spans, dominant {segment} "
+            f"({seconds * 1000:.1f} ms, {fraction:.0%})"
+        )
+
+    if args.collapsed:
+        sampler.write_collapsed(args.collapsed)
+        print(f"\nwrote collapsed stacks to {args.collapsed} "
+              f"(feed to flamegraph.pl / speedscope)")
+    if args.chrome:
+        sampler.write_chrome_trace(args.chrome)
+        print(f"wrote Chrome sampling trace to {args.chrome} "
+              f"(open in Perfetto)")
+    if args.contention:
+        with open(args.contention, "w", encoding="utf-8") as fh:
+            json_mod.dump(
+                {
+                    "locks": snapshot,
+                    "exemplars": [e.to_dict() for e in exemplars],
+                },
+                fh,
+                indent=2,
+                sort_keys=True,
+            )
+        print(f"wrote contention + exemplar report to {args.contention}")
     return 0
 
 
@@ -559,6 +689,35 @@ def build_parser() -> argparse.ArgumentParser:
         help="also print the unified metrics registry snapshot",
     )
     telemetry.set_defaults(func=_cmd_telemetry)
+
+    profile = sub.add_parser(
+        "profile",
+        help="profile a replay: stack samples, lock contention, tail exemplars",
+    )
+    profile.add_argument("--initial-files", type=int, default=6)
+    profile.add_argument("--training", type=int, default=2)
+    profile.add_argument("--snapshots", type=int, default=12)
+    profile.add_argument("--seed", type=int, default=42)
+    profile.add_argument(
+        "--hz", type=float, default=200.0, help="stack sampling rate"
+    )
+    profile.add_argument(
+        "--top", type=int, default=10,
+        help="rows shown for hottest frames / exemplars",
+    )
+    profile.add_argument(
+        "--collapsed", metavar="PATH",
+        help="write collapsed ('folded') stacks for flamegraph tooling",
+    )
+    profile.add_argument(
+        "--chrome", metavar="PATH",
+        help="write a Chrome trace_event sampling profile (Perfetto)",
+    )
+    profile.add_argument(
+        "--contention", metavar="PATH",
+        help="write the lock-contention + exemplar report as JSON",
+    )
+    profile.set_defaults(func=_cmd_profile)
 
     ops = sub.add_parser(
         "ops",

@@ -18,7 +18,6 @@ benchmarks charge realistic network costs to every broker hop.
 
 from __future__ import annotations
 
-import threading
 import time
 from typing import Callable, Dict, List, Optional
 
@@ -28,6 +27,7 @@ from repro.mom.message import Delivery, Message
 from repro.mom.persistence import InMemoryMessageStore
 from repro.mom.queue import Consumer, MessageQueue
 from repro.telemetry.control import HEALTH
+from repro.telemetry.profiling import TimedLock
 from repro.telemetry.registry import REGISTRY
 
 #: Name of the implicit default exchange (direct; routing key == queue name).
@@ -37,8 +37,10 @@ DEFAULT_EXCHANGE = ""
 class BrokerStats:
     """Aggregate counters exposed for provisioners and tests."""
 
-    def __init__(self) -> None:
-        self._lock = threading.Lock()
+    def __init__(self, broker_name: str = "broker") -> None:
+        # Taken on every publish/ack — the second-hottest lock in the
+        # broker after the queue lock, so it is contention-metered too.
+        self._lock = TimedLock(f"mom.broker.{broker_name}.stats")
         self.publishes = 0
         self.deliveries = 0
         self.acks = 0
@@ -83,11 +85,11 @@ class MessageBroker:
         self.name = name
         self.store = store if store is not None else InMemoryMessageStore()
         self._publish_latency = publish_latency
-        self._lock = threading.Lock()
+        self._lock = TimedLock(f"mom.broker.{name}")
         self._queues: Dict[str, MessageQueue] = {}
         self._exchanges: Dict[str, Exchange] = {DEFAULT_EXCHANGE: DirectExchange("")}
         self._closed = False
-        self.stats = BrokerStats()
+        self.stats = BrokerStats(name)
         # Scrape-time wiring into the unified registry: evaluated only on
         # snapshot, weakly held, so the publish hot path is untouched.
         REGISTRY.register_source(

@@ -15,13 +15,13 @@ re-bind their remote objects.
 
 from __future__ import annotations
 
-import threading
 from typing import Callable, List, Optional
 
 from repro.errors import BrokerClosed
 from repro.mom.broker_server import MessageBroker
 from repro.mom.message import Delivery, Message
 from repro.mom.persistence import InMemoryMessageStore
+from repro.telemetry.profiling import TimedLock
 
 
 class BrokerCluster:
@@ -41,7 +41,10 @@ class BrokerCluster:
             raise ValueError("cluster size must be >= 1")
         self._store = InMemoryMessageStore()
         self._publish_latency = publish_latency
-        self._lock = threading.Lock()
+        # Every facade call resolves `active` through this lock: on the
+        # hot path it guards one list index, so its hold time should be
+        # negligible — the contention series proves (or disproves) that.
+        self._lock = TimedLock("mom.cluster")
         self._nodes: List[MessageBroker] = [
             MessageBroker(
                 store=self._store,

@@ -15,8 +15,9 @@ workspace hierarchy), though the core protocol does not need it.
 from __future__ import annotations
 
 import re
-import threading
 from typing import Dict, List, Set
+
+from repro.telemetry.profiling import TimedLock
 
 
 class Exchange:
@@ -26,7 +27,7 @@ class Exchange:
 
     def __init__(self, name: str):
         self.name = name
-        self._lock = threading.Lock()
+        self._lock = TimedLock(f"mom.exchange.{name or 'default'}")
         # binding key -> set of queue names
         self._bindings: Dict[str, Set[str]] = {}
 

@@ -26,6 +26,8 @@ from typing import Callable, Dict, List, Optional
 
 from repro.errors import DuplicateConsumer
 from repro.mom.message import Delivery, Message
+from repro.telemetry.profiling import TimedCondition, TimedLock
+from repro.telemetry.registry import get_registry
 from repro.telemetry.trace import DEQUEUED_AT_KEY, ENQUEUED_AT_KEY, TRACER
 
 logger = logging.getLogger(__name__)
@@ -100,13 +102,36 @@ class MessageQueue:
         self._ready: deque = deque()
         self._consumers: List[Consumer] = []
         self._rr_index = 0
-        self._lock = threading.Lock()
-        self._not_empty = threading.Condition(self._lock)
+        # Exclusive queues (per-proxy response queues, per-instance
+        # multicast queues) share one contention label so lock-series
+        # cardinality stays bounded by the number of queue *roles*.
+        lock_label = (
+            "mom.queue.<exclusive>" if exclusive else f"mom.queue.{name}"
+        )
+        self._lock = TimedLock(lock_label)
+        self._not_empty = TimedCondition(self._lock)
         # Counters for introspection (HasObjectInfo, paper §3.3).
         self.published_count = 0
         self.delivered_count = 0
         self.acked_count = 0
         self.redelivered_count = 0
+        # Hot-path health: deepest the ready buffer ever got, and how
+        # many dispatch cycles (lock acquisitions that tried to hand out
+        # messages) ran.  Scraped lazily; exclusive queues are transient
+        # and numerous, so only named queues register a source.
+        self.depth_high_water = 0
+        self.dispatch_cycles = 0
+        self._source_token: Optional[int] = None
+        if not exclusive:
+            self._source_token = get_registry().register_source(
+                "mom_queue",
+                self,
+                lambda q: {
+                    "depth_high_water": float(q.depth_high_water),
+                    "dispatch_cycles": float(q.dispatch_cycles),
+                },
+                queue=name,
+            )
 
     # -- publishing ---------------------------------------------------------
 
@@ -122,6 +147,8 @@ class MessageQueue:
             else:
                 self._ready.append(message)
             self.published_count += 1
+            if len(self._ready) > self.depth_high_water:
+                self.depth_high_water = len(self._ready)
             self._dispatch_locked()
             self._not_empty.notify_all()
 
@@ -239,6 +266,7 @@ class MessageQueue:
         default prefetch of 1 this selects only idle consumers, which is the
         transparent load balancing the paper credits the MOM layer with.
         """
+        self.dispatch_cycles += 1
         if not self._consumers:
             return
         while self._ready:
@@ -304,6 +332,9 @@ class MessageQueue:
             return messages
 
     def close(self) -> None:
+        if self._source_token is not None:
+            get_registry().unregister_source(self._source_token)
+            self._source_token = None
         with self._lock:
             consumers = list(self._consumers)
             self._consumers.clear()

@@ -20,6 +20,15 @@ declarative :class:`SloEngine` alerting on registry gauges, and an
 :class:`OpsServer` exposing ``/metrics``, ``/health``, ``/ready``,
 ``/events`` and ``/slo`` over plain HTTP.
 
+The hot-path profiling plane (:mod:`repro.telemetry.profiling`) answers
+*where the wall-clock goes*: a wall-clock :class:`StackSampler` with
+collapsed-stack / Chrome flamegraph export, :class:`TimedLock` /
+:class:`TimedCondition` contention meters wired through the MOM layer,
+and tail-based :class:`ExemplarReservoir` trace sampling that keeps full
+span trees only for p99-slow (or errored) requests and names their
+dominant critical-path segment.  Served at ``/profile`` and
+``/contention`` and by the ``stacksync-repro profile`` CLI.
+
 Typical use::
 
     from repro import telemetry
@@ -67,6 +76,25 @@ from repro.telemetry.registry import (
     get_registry,
 )
 from repro.telemetry.http import OpsServer
+from repro.telemetry.profiling import (
+    PROFILER,
+    PROFILING,
+    Exemplar,
+    ExemplarReservoir,
+    StackSampler,
+    TimedCondition,
+    TimedLock,
+    contention_snapshot,
+    contention_totals,
+    disable_exemplars,
+    disable_lock_timing,
+    dominant_segment,
+    enable_exemplars,
+    enable_lock_timing,
+    get_profiler,
+    lock_timing_enabled,
+    segment_breakdown,
+)
 from repro.telemetry.slo import (
     DEFAULT_RULES_TEXT,
     SloEngine,
@@ -106,22 +134,39 @@ __all__ = [
     "TRACER",
     "Counter",
     "DecisionJournal",
+    "Exemplar",
+    "ExemplarReservoir",
     "Gauge",
     "HealthRegistry",
     "Histogram",
     "JournalEvent",
     "MetricsRegistry",
     "OpsServer",
+    "PROFILER",
+    "PROFILING",
     "ProbeResult",
     "SloEngine",
     "SloRule",
     "Span",
+    "StackSampler",
+    "TimedCondition",
+    "TimedLock",
     "TraceContext",
     "Tracer",
+    "contention_snapshot",
+    "contention_totals",
     "default_rules",
     "disable",
+    "disable_exemplars",
+    "disable_lock_timing",
+    "dominant_segment",
     "enable",
+    "enable_exemplars",
+    "enable_lock_timing",
     "enabled",
+    "get_profiler",
+    "lock_timing_enabled",
+    "segment_breakdown",
     "get_health_registry",
     "get_registry",
     "get_tracer",

@@ -16,6 +16,9 @@ Route          Payload
 ``/slo``       JSON SLO rule status from the alert engine
 ``/bench``     JSON tail of the performance trajectory (``?n=``), when the
                server was given a ``bench_path``
+``/profile``   JSON sampling-profiler state: hottest stacks + collapsed
+               lines; ``?seconds=&hz=`` runs a synchronous burst profile
+``/contention``  JSON per-lock wait/hold histograms + exemplar summaries
 ``/``          JSON index of the routes above
 =============  ==================================================================
 
@@ -80,12 +83,21 @@ class _OpsHandler(BaseHTTPRequestHandler):
                 self._send_json(200, ops.bench_payload(
                     n=int(query.get("n", ["5"])[0]),
                 ))
+            elif route == "/profile":
+                seconds = float(query.get("seconds", ["0"])[0])
+                self._send_json(200, ops.profile_payload(
+                    seconds=seconds,
+                    hz=float(query.get("hz", ["100"])[0]),
+                    top=int(query.get("top", ["10"])[0]),
+                ))
+            elif route == "/contention":
+                self._send_json(200, ops.contention_payload())
             elif route == "/":
                 self._send_json(200, {
                     "service": "stacksync-repro ops",
                     "routes": [
                         "/metrics", "/health", "/ready", "/events", "/slo",
-                        "/bench",
+                        "/bench", "/profile", "/contention",
                     ],
                 })
             else:
@@ -225,6 +237,70 @@ class OpsServer:
         if self.slo is None:
             return {"rules": [], "active": []}
         return {"rules": self.slo.status(), "active": self.slo.active_alerts()}
+
+    #: Upper bound on a synchronous `/profile?seconds=` burst: the request
+    #: thread blocks while sampling, so keep bursts scrape-friendly.
+    MAX_BURST_SECONDS = 10.0
+
+    def profile_payload(
+        self, seconds: float = 0.0, hz: float = 100.0, top: int = 10
+    ) -> Dict[str, Any]:
+        """Sampling-profiler state; optionally run a burst profile first.
+
+        With ``seconds > 0`` the request synchronously runs the global
+        :class:`StackSampler` for that long (capped at
+        :data:`MAX_BURST_SECONDS`, skipped when it is already running)
+        and then reports.  With ``seconds == 0`` it reports whatever the
+        sampler has accumulated so far.
+        """
+        from repro.telemetry.profiling import get_profiler
+
+        profiler = get_profiler()
+        burst = 0.0
+        if seconds > 0 and not profiler.running:
+            burst = min(seconds, self.MAX_BURST_SECONDS)
+            profiler.hz = max(1.0, hz)
+            profiler.start()
+            try:
+                threading.Event().wait(burst)
+            finally:
+                profiler.stop()
+        return {
+            "running": profiler.running,
+            "hz": profiler.hz,
+            "burst_seconds": burst,
+            "samples": profiler.sample_count,
+            "ticks": profiler.tick_count,
+            "active_seconds": profiler.active_seconds,
+            "hottest": [
+                {"frame": frame, "samples": count}
+                for frame, count in profiler.hottest(top)
+            ],
+            "collapsed": profiler.collapsed().splitlines(),
+        }
+
+    def contention_payload(self) -> Dict[str, Any]:
+        """Per-lock contention report plus tail-exemplar summaries."""
+        from repro.telemetry.profiling import (
+            contention_snapshot,
+            contention_totals,
+            lock_timing_enabled,
+        )
+        from repro.telemetry.trace import TRACER
+
+        reservoir = TRACER.exemplars
+        exemplars: list = []
+        reservoir_stats: Dict[str, float] = {}
+        if reservoir is not None:
+            exemplars = [e.to_dict() for e in reservoir.exemplars()]
+            reservoir_stats = reservoir.stats()
+        return {
+            "lock_timing_enabled": lock_timing_enabled(),
+            "locks": contention_snapshot(self.registry),
+            "totals": contention_totals(self.registry),
+            "exemplars": exemplars,
+            "reservoir": reservoir_stats,
+        }
 
     def bench_payload(self, n: int = 5) -> Dict[str, Any]:
         if self.bench_path is None:

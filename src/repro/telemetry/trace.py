@@ -16,7 +16,11 @@ collected spans with :meth:`Tracer.spans`, export them with
 
 Span timestamps are ``time.time()`` wall-clock seconds: every layer runs
 in one process here, so wall time is a consistent global clock and maps
-directly onto Chrome ``trace_event`` microseconds.
+directly onto Chrome ``trace_event`` microseconds.  Durations, however,
+are measured with ``time.perf_counter()`` — a live span's ``end`` is
+``start`` plus the monotonic elapsed time — so a wall-clock step (NTP
+slew, manual adjustment) mid-span can never produce a negative or
+inflated duration.
 """
 
 from __future__ import annotations
@@ -117,12 +121,13 @@ _NOOP_SPAN = _NoopSpan()
 class _ActiveSpan:
     """Context manager that records a live span and manages the TLS stack."""
 
-    __slots__ = ("_tracer", "span", "_pushed")
+    __slots__ = ("_tracer", "span", "_pushed", "_perf0")
 
     def __init__(self, tracer: "Tracer", span: Span):
         self._tracer = tracer
         self.span = span
         self._pushed = False
+        self._perf0 = time.perf_counter()
 
     def set_attr(self, key: str, value: Any) -> None:
         self.span.attrs[key] = value
@@ -135,7 +140,9 @@ class _ActiveSpan:
     def __exit__(self, exc_type, exc, tb) -> bool:
         if exc_type is not None:
             self.span.attrs.setdefault("error", f"{exc_type.__name__}: {exc}")
-        self.span.end = time.time()
+        # Monotonic duration anchored to the wall-clock start: clock steps
+        # mid-span cannot yield negative (or wildly wrong) durations.
+        self.span.end = self.span.start + (time.perf_counter() - self._perf0)
         if self._pushed:
             self._tracer._pop(self.span)
         self._tracer._record(self.span)
@@ -157,6 +164,9 @@ class Tracer:
         self._spans: List[Span] = []
         self.dropped = 0
         self._tls = threading.local()
+        # Optional tail-based sampler (repro.telemetry.profiling attaches
+        # an ExemplarReservoir here); offered every completed root span.
+        self.exemplars: Optional[Any] = None
 
     # -- span creation -------------------------------------------------------
 
@@ -273,6 +283,14 @@ class Tracer:
                 self.dropped += 1
                 return
             self._spans.append(span)
+        # Offer completed roots to the exemplar reservoir outside the
+        # buffer lock (the reservoir re-reads the buffer to capture the
+        # tree).  A sampler bug must never break span recording.
+        if span.parent_id is None and self.exemplars is not None:
+            try:
+                self.exemplars.offer(span, self)
+            except Exception:
+                pass
 
 
 #: The process-wide tracer every instrumentation site consults.  A single

@@ -284,3 +284,50 @@ def test_get_timeout_holds_under_spurious_conditions():
     t0 = time.monotonic()
     assert queue.get(timeout=0.2) is None
     assert time.monotonic() - t0 >= 0.2
+
+
+class TestQueueMetricsSource:
+    """Depth high-water-mark / dispatch-cycle gauges ride the queue lifecycle."""
+
+    def _series(self, name):
+        from repro.telemetry.registry import get_registry
+
+        return {
+            k: v
+            for k, v in get_registry().snapshot().items()
+            if k.startswith("mom_queue_") and f'queue="{name}"' in k
+        }
+
+    def test_depth_high_water_and_dispatch_cycles(self):
+        queue = MessageQueue("hwm-q")
+        try:
+            for i in range(5):
+                queue.put(Message(f"m{i}".encode()))
+            assert queue.depth_high_water == 5
+            assert queue.dispatch_cycles == 5
+            # Draining does not lower the high-water mark.
+            while queue.get(timeout=0.1) is not None and len(queue):
+                pass
+            assert queue.depth_high_water == 5
+            series = self._series("hwm-q")
+            assert series['mom_queue_depth_high_water{queue="hwm-q"}'] == 5.0
+            assert series['mom_queue_dispatch_cycles{queue="hwm-q"}'] == 5.0
+        finally:
+            queue.close()
+
+    def test_source_unregistered_on_close(self):
+        queue = MessageQueue("lifecycle-q")
+        assert self._series("lifecycle-q")
+        queue.close()
+        assert self._series("lifecycle-q") == {}
+        queue.close()  # idempotent
+
+    def test_exclusive_queue_registers_no_source(self):
+        from repro.telemetry.registry import get_registry
+
+        before = get_registry().source_count()
+        queue = MessageQueue("resp.abc123", exclusive=True)
+        try:
+            assert get_registry().source_count() == before
+        finally:
+            queue.close()

@@ -59,7 +59,8 @@ def test_index_lists_routes(stack):
     status, body = _get(ops.url + "/")
     assert status == 200
     assert set(json.loads(body)["routes"]) == {
-        "/metrics", "/health", "/ready", "/events", "/slo", "/bench"
+        "/metrics", "/health", "/ready", "/events", "/slo", "/bench",
+        "/profile", "/contention",
     }
 
 
@@ -215,3 +216,109 @@ class TestBenchRoute:
             assert json.loads(body)["total"] == 0
         finally:
             ops.stop()
+
+
+class TestProfileRoute:
+    def test_reports_idle_sampler(self, stack):
+        *_rest, ops = stack
+        status, body = _get(ops.url + "/profile")
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["running"] is False
+        assert payload["burst_seconds"] == 0
+
+    def test_burst_collects_samples(self, stack):
+        import threading
+        import time
+
+        from repro.telemetry.profiling import get_profiler
+
+        get_profiler().clear()
+        *_rest, ops = stack
+        stop = threading.Event()
+
+        def spin():
+            while not stop.is_set():
+                sum(range(50))
+
+        worker = threading.Thread(target=spin, name="http-spin")
+        worker.start()
+        try:
+            status, body = _get(ops.url + "/profile?seconds=0.2&hz=400")
+            assert status == 200
+            payload = json.loads(body)
+            assert payload["burst_seconds"] == pytest.approx(0.2)
+            assert payload["samples"] > 0
+            assert payload["hottest"], "no hot frames reported"
+            assert any(
+                line.startswith("http-spin;") for line in payload["collapsed"]
+            )
+        finally:
+            stop.set()
+            worker.join()
+            get_profiler().clear()
+
+    def test_burst_is_capped(self, stack, monkeypatch):
+        *_rest, ops = stack
+        from repro.telemetry.http import OpsServer as _Ops
+
+        assert _Ops.MAX_BURST_SECONDS <= 10.0
+        monkeypatch.setattr(_Ops, "MAX_BURST_SECONDS", 0.05)
+        payload = ops.profile_payload(seconds=9999, hz=100)
+        assert payload["burst_seconds"] == pytest.approx(0.05)
+
+
+class TestContentionRoute:
+    def test_reports_locks_and_exemplars(self, stack):
+        import time as time_mod
+
+        from repro.telemetry.profiling import (
+            TimedLock,
+            disable_exemplars,
+            disable_lock_timing,
+            enable_exemplars,
+            enable_lock_timing,
+        )
+        from repro.telemetry.trace import TRACER, enable
+
+        registry, *_rest, ops = stack
+        lock = TimedLock("t.http")
+        enable_lock_timing()
+        tracer = enable()
+        enable_exemplars(min_samples=1, capacity=2)
+        try:
+            # The instrumented sites record into the process registry;
+            # this server serves its own, so record there explicitly.
+            registry.counter("lock_acquisitions", lock="t.http").inc()
+            registry.histogram("lock_wait_seconds", lock="t.http").observe(0.001)
+            registry.histogram("lock_hold_seconds", lock="t.http").observe(0.002)
+            with lock:
+                pass
+            with tracer.span("op", layer="sync"):
+                time_mod.sleep(0.005)
+        finally:
+            disable_lock_timing()
+            TRACER.enabled = False
+
+        try:
+            status, body = _get(ops.url + "/contention")
+            assert status == 200
+            payload = json.loads(body)
+            assert payload["locks"]["t.http"]["acquisitions"] == 1
+            assert payload["locks"]["t.http"]["wait"]["count"] == 1
+            assert payload["locks"]["t.http"]["hold"]["count"] == 1
+            assert payload["totals"]["acquisitions"] == 1
+            assert payload["reservoir"]["roots_seen"] >= 1
+            assert payload["exemplars"], "tail exemplar not served"
+            assert payload["exemplars"][0]["dominant_segment"] == "sync"
+        finally:
+            disable_exemplars()
+
+    def test_empty_report_without_instruments(self, stack):
+        *_rest, ops = stack
+        status, body = _get(ops.url + "/contention")
+        assert status == 200
+        payload = json.loads(body)
+        assert payload["lock_timing_enabled"] is False
+        assert payload["locks"] == {}
+        assert payload["exemplars"] == []

@@ -1,0 +1,499 @@
+"""The hot-path profiling plane: sampler, lock meters, tail exemplars."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.telemetry.profiling import (
+    COND_WAIT_SERIES,
+    LOCK_ACQUISITIONS_SERIES,
+    LOCK_HOLD_SERIES,
+    LOCK_WAIT_SERIES,
+    PROFILING,
+    ExemplarReservoir,
+    StackSampler,
+    TimedCondition,
+    TimedLock,
+    contention_snapshot,
+    contention_totals,
+    disable_exemplars,
+    disable_lock_timing,
+    dominant_segment,
+    enable_exemplars,
+    enable_lock_timing,
+    lock_timing_enabled,
+    segment_breakdown,
+)
+from repro.telemetry.registry import MetricsRegistry
+from repro.telemetry.trace import TRACER, Span, enable
+
+
+@pytest.fixture()
+def registry(monkeypatch):
+    """A private registry swapped in for the process-wide one."""
+    fresh = MetricsRegistry()
+    monkeypatch.setattr("repro.telemetry.profiling.get_registry", lambda: fresh)
+    return fresh
+
+
+# -- TimedLock ----------------------------------------------------------------
+
+
+class TestTimedLock:
+    def test_disabled_behaves_like_plain_lock(self, registry):
+        lock = TimedLock("t.plain")
+        assert lock.acquire()
+        assert lock.locked()
+        assert not lock.acquire(blocking=False)
+        lock.release()
+        assert not lock.locked()
+        with lock:
+            assert lock.locked()
+        # Nothing recorded: the disabled path never touches the registry.
+        assert registry.snapshot() == {}
+
+    def test_enabled_records_wait_hold_and_acquisitions(self, registry):
+        lock = TimedLock("t.meters")
+        enable_lock_timing()
+        try:
+            with lock:
+                time.sleep(0.005)
+            with lock:
+                pass
+        finally:
+            disable_lock_timing()
+        counter = registry.counter(LOCK_ACQUISITIONS_SERIES, lock="t.meters")
+        assert counter.value == 2
+        wait = registry.histogram(LOCK_WAIT_SERIES, lock="t.meters")
+        hold = registry.histogram(LOCK_HOLD_SERIES, lock="t.meters")
+        assert wait.count == 2
+        assert hold.count == 2
+        assert hold.max >= 0.005
+
+    def test_contended_acquire_measures_real_wait(self, registry):
+        lock = TimedLock("t.contended")
+        enable_lock_timing()
+        try:
+            started = threading.Event()
+
+            def holder():
+                with lock:
+                    started.set()
+                    time.sleep(0.02)
+
+            thread = threading.Thread(target=holder)
+            thread.start()
+            started.wait(timeout=1.0)
+            with lock:
+                pass
+            thread.join(timeout=1.0)
+        finally:
+            disable_lock_timing()
+        wait = registry.histogram(LOCK_WAIT_SERIES, lock="t.contended")
+        assert wait.max >= 0.015
+
+    def test_slow_wait_emits_lock_layer_span(self, registry):
+        lock = TimedLock("t.span")
+        enable()
+        enable_lock_timing()
+        try:
+            started = threading.Event()
+
+            def holder():
+                with lock:
+                    started.set()
+                    time.sleep(0.01)
+
+            thread = threading.Thread(target=holder)
+            thread.start()
+            started.wait(timeout=1.0)
+            with lock:
+                pass
+            thread.join(timeout=1.0)
+        finally:
+            disable_lock_timing()
+        spans = [s for s in TRACER.spans() if s.layer == "lock"]
+        assert any(s.name == "lock.wait:t.span" for s in spans)
+
+    def test_failed_nonblocking_acquire_not_counted(self, registry):
+        lock = TimedLock("t.failed")
+        enable_lock_timing()
+        try:
+            lock.acquire()
+            assert not lock.acquire(blocking=False)
+            lock.release()
+        finally:
+            disable_lock_timing()
+        counter = registry.counter(LOCK_ACQUISITIONS_SERIES, lock="t.failed")
+        assert counter.value == 1
+
+    def test_enable_mid_hold_keeps_bookkeeping_sane(self, registry):
+        lock = TimedLock("t.midflight")
+        lock.acquire()  # disabled: no _hold_started stamp
+        enable_lock_timing()
+        try:
+            lock.release()  # no open hold slice -> nothing recorded
+            hold = registry.histogram(LOCK_HOLD_SERIES, lock="t.midflight")
+            assert hold.count == 0
+            with lock:
+                pass
+            assert hold.count == 1
+        finally:
+            disable_lock_timing()
+
+    def test_module_toggles(self):
+        assert not lock_timing_enabled()
+        enable_lock_timing()
+        assert lock_timing_enabled() and PROFILING.lock_timing
+        disable_lock_timing()
+        assert not lock_timing_enabled()
+
+
+class TestTimedCondition:
+    def test_wait_notify_works_and_records(self, registry):
+        lock = TimedLock("t.cond")
+        cond = TimedCondition(lock)
+        enable_lock_timing()
+        results = []
+        try:
+            def waiter():
+                with cond:
+                    while not results:
+                        cond.wait(timeout=1.0)
+
+            thread = threading.Thread(target=waiter)
+            thread.start()
+            time.sleep(0.01)
+            with cond:
+                results.append("go")
+                cond.notify_all()
+            thread.join(timeout=2.0)
+            assert not thread.is_alive()
+        finally:
+            disable_lock_timing()
+        cond_wait = registry.histogram(COND_WAIT_SERIES, lock="t.cond")
+        assert cond_wait.count >= 1
+        # Condition.wait releases/re-acquires through the TimedLock
+        # protocol hooks: the sleep itself must not count as lock hold.
+        hold = registry.histogram(LOCK_HOLD_SERIES, lock="t.cond")
+        assert hold.count >= 2
+        assert hold.max < 0.5
+
+    def test_wait_timeout_returns_false(self, registry):
+        cond = TimedCondition(TimedLock("t.cond.timeout"))
+        enable_lock_timing()
+        try:
+            with cond:
+                assert cond.wait(timeout=0.01) is False
+        finally:
+            disable_lock_timing()
+
+
+# -- contention snapshots -----------------------------------------------------
+
+
+class TestContentionSnapshot:
+    def test_snapshot_groups_by_lock(self, registry):
+        first, second = TimedLock("t.a"), TimedLock("t.b")
+        enable_lock_timing()
+        try:
+            with first:
+                pass
+            with second:
+                pass
+            with second:
+                pass
+        finally:
+            disable_lock_timing()
+        snapshot = contention_snapshot(registry)
+        assert set(snapshot) == {"t.a", "t.b"}
+        assert snapshot["t.b"]["acquisitions"] == 2
+        assert snapshot["t.a"]["wait"]["count"] == 1
+        assert snapshot["t.a"]["hold"]["count"] == 1
+
+    def test_totals_aggregate_across_locks(self, registry):
+        enable_lock_timing()
+        try:
+            for name in ("t.x", "t.y"):
+                with TimedLock(name):
+                    pass
+        finally:
+            disable_lock_timing()
+        totals = contention_totals(registry)
+        assert totals["acquisitions"] == 2
+        assert totals["hold_s"] > 0
+
+    def test_empty_registry_yields_empty_report(self, registry):
+        assert contention_snapshot(registry) == {}
+        totals = contention_totals(registry)
+        assert totals["acquisitions"] == 0
+
+
+# -- StackSampler -------------------------------------------------------------
+
+
+def _spin(stop: threading.Event) -> None:
+    while not stop.is_set():
+        sum(range(50))
+
+
+class TestStackSampler:
+    def test_start_stop_idempotent(self):
+        sampler = StackSampler(hz=500)
+        assert not sampler.running
+        sampler.stop()  # stop before start: no-op
+        sampler.start()
+        thread = sampler._thread
+        sampler.start()  # second start: same thread, no respawn
+        assert sampler._thread is thread
+        assert sampler.running
+        sampler.stop()
+        sampler.stop()
+        assert not sampler.running
+
+    def test_samples_other_threads_not_itself(self):
+        sampler = StackSampler(hz=1000)
+        stop = threading.Event()
+        worker = threading.Thread(target=_spin, args=(stop,), name="spin-t")
+        worker.start()
+        sampler.start()
+        time.sleep(0.1)
+        sampler.stop()
+        stop.set()
+        worker.join()
+        assert sampler.sample_count > 0
+        threads = {thread for thread, _ in sampler.counts()}
+        assert "spin-t" in threads
+        assert "stack-sampler" not in threads
+
+    def test_collapsed_format(self):
+        sampler = StackSampler()
+        stop = threading.Event()
+        worker = threading.Thread(target=_spin, args=(stop,), name="fold-t")
+        worker.start()
+        time.sleep(0.01)
+        sampler.sample_once()
+        stop.set()
+        worker.join()
+        collapsed = sampler.collapsed()
+        assert collapsed
+        line = next(l for l in collapsed.splitlines() if l.startswith("fold-t;"))
+        stack, count = line.rsplit(" ", 1)
+        assert int(count) >= 1
+        assert ";" in stack
+
+    def test_hottest_ranks_leaf_frames(self):
+        sampler = StackSampler()
+        stop = threading.Event()
+        worker = threading.Thread(target=_spin, args=(stop,), name="hot-t")
+        worker.start()
+        time.sleep(0.01)
+        for _ in range(5):
+            sampler.sample_once()
+        stop.set()
+        worker.join()
+        hottest = sampler.hottest(3)
+        assert hottest
+        assert hottest[0][1] >= hottest[-1][1]
+
+    def test_chrome_trace_shape(self):
+        sampler = StackSampler()
+        stop = threading.Event()
+        worker = threading.Thread(target=_spin, args=(stop,), name="chrome-t")
+        worker.start()
+        time.sleep(0.01)
+        sampler.sample_once()
+        stop.set()
+        worker.join()
+        trace = sampler.chrome_trace()
+        assert trace["samples"], "no samples exported"
+        for sample in trace["samples"]:
+            assert str(sample["sf"]) in trace["stackFrames"]
+        names = [e["args"]["name"] for e in trace["traceEvents"]]
+        assert "chrome-t" in names
+
+    def test_clear_resets_aggregation(self):
+        sampler = StackSampler()
+        stop = threading.Event()
+        worker = threading.Thread(target=_spin, args=(stop,))
+        worker.start()
+        time.sleep(0.01)
+        sampler.sample_once()
+        stop.set()
+        worker.join()
+        assert sampler.sample_count > 0
+        sampler.clear()
+        assert sampler.sample_count == 0
+        assert sampler.counts() == {}
+        assert sampler.collapsed() == ""
+
+    def test_rejects_nonpositive_rate(self):
+        with pytest.raises(ValueError):
+            StackSampler(hz=0)
+
+
+# -- exemplars ----------------------------------------------------------------
+
+
+def _span(name, layer, start, end, trace_id="t1", span_id=None, parent=None):
+    return Span(
+        name=name,
+        layer=layer,
+        trace_id=trace_id,
+        span_id=span_id or name,
+        parent_id=parent,
+        start=start,
+        end=end,
+    )
+
+
+class TestSegmentBreakdown:
+    def test_self_time_excludes_children(self):
+        spans = [
+            _span("root", "sync", 0.0, 1.0, span_id="r"),
+            _span("meta", "metadata", 0.1, 0.4, parent="r"),
+            _span("store", "storage", 0.4, 0.9, parent="r"),
+        ]
+        breakdown = segment_breakdown(spans)
+        assert breakdown["metadata"] == pytest.approx(0.3)
+        assert breakdown["storage"] == pytest.approx(0.5)
+        assert breakdown["sync"] == pytest.approx(0.2)
+        segment, seconds, fraction = dominant_segment(spans)
+        assert segment == "storage"
+        assert seconds == pytest.approx(0.5)
+        assert fraction == pytest.approx(0.5)
+
+    def test_queue_and_lock_layers_get_named_segments(self):
+        spans = [
+            _span("root", "sync", 0.0, 1.0, span_id="r"),
+            _span("qw", "queue", 0.0, 0.6, parent="r"),
+            _span("lk", "lock", 0.6, 0.8, parent="r"),
+        ]
+        breakdown = segment_breakdown(spans)
+        assert breakdown["queue-wait"] == pytest.approx(0.6)
+        assert breakdown["lock-wait"] == pytest.approx(0.2)
+        assert dominant_segment(spans)[0] == "queue-wait"
+
+    def test_empty_input(self):
+        assert segment_breakdown([]) == {}
+        assert dominant_segment([]) == ("<empty>", 0.0, 0.0)
+
+
+class TestExemplarReservoir:
+    def test_captures_only_the_slow_tail(self):
+        tracer = enable()
+        reservoir = enable_exemplars(min_samples=10, capacity=4)
+        try:
+            for i in range(100):
+                with tracer.span("op", layer="sync"):
+                    if i % 25 == 24:
+                        time.sleep(0.01)
+        finally:
+            disable_exemplars()
+        assert reservoir.roots_seen == 100
+        assert 1 <= len(reservoir) <= 4
+        exemplars = reservoir.exemplars()
+        # The gate is a *rolling* p99, so an early fast-but-relatively-slow
+        # root may be captured and survive; what matters is that the true
+        # slow tail is represented.
+        assert max(e.duration for e in exemplars) >= 0.005
+        for exemplar in exemplars:
+            assert exemplar.spans, "tree not captured"
+
+    def test_errored_roots_always_captured(self):
+        tracer = enable()
+        reservoir = enable_exemplars(min_samples=1000, capacity=4)
+        try:
+            with pytest.raises(RuntimeError):
+                with tracer.span("boom", layer="sync"):
+                    raise RuntimeError("kaput")
+        finally:
+            disable_exemplars()
+        exemplars = reservoir.exemplars()
+        assert len(exemplars) == 1
+        assert exemplars[0].errored
+
+    def test_eviction_drops_fastest_non_errored(self):
+        reservoir = ExemplarReservoir(capacity=2, min_samples=1)
+        tracer = enable()
+        tracer.exemplars = None  # offered manually below
+        # Monotonically slower roots: each is the window maximum, so each
+        # clears the rolling-p99 gate and lands in the reservoir.
+        durations = [0.1, 0.2, 0.3]
+        for index, duration in enumerate(durations):
+            root = _span(
+                f"op{index}", "sync", float(index), float(index) + duration,
+                trace_id=f"trace{index}", span_id=f"s{index}",
+            )
+            tracer._record(root)
+            reservoir.offer(root, tracer)
+        assert reservoir.captured == 3
+        assert reservoir.evicted == 1
+        kept = sorted(e.duration for e in reservoir.exemplars())
+        assert kept == pytest.approx([0.2, 0.3])
+
+    def test_eviction_prefers_keeping_errored(self):
+        reservoir = ExemplarReservoir(capacity=1, min_samples=1)
+        tracer = enable()
+        slow_error = _span("err", "sync", 0.0, 0.001, trace_id="te", span_id="e")
+        slow_error.attrs["error"] = "RuntimeError: x"
+        reservoir.offer(slow_error, tracer)
+        fast = _span("ok", "sync", 1.0, 1.5, trace_id="tf", span_id="f")
+        reservoir.offer(fast, tracer)
+        names = [e.root_name for e in reservoir.exemplars()]
+        # The errored exemplar survives even though it is the fastest.
+        assert names == ["err"]
+
+    def test_exemplar_dominant_segment_over_captured_tree(self):
+        tracer = enable()
+        reservoir = enable_exemplars(min_samples=1, capacity=2)
+        try:
+            with tracer.span("op", layer="sync"):
+                with tracer.span("meta", layer="metadata"):
+                    time.sleep(0.01)
+        finally:
+            disable_exemplars()
+        exemplar = reservoir.exemplars()[0]
+        assert exemplar.dominant_segment()[0] == "metadata"
+        payload = exemplar.to_dict()
+        assert payload["dominant_segment"] == "metadata"
+        assert payload["spans"] == 2
+
+    def test_offer_hook_is_exception_safe(self):
+        tracer = enable()
+
+        class Broken:
+            def offer(self, span, tracer):
+                raise RuntimeError("reservoir bug")
+
+        tracer.exemplars = Broken()
+        try:
+            with tracer.span("op", layer="sync"):
+                pass
+        finally:
+            tracer.exemplars = None
+        # The span was still recorded despite the broken hook.
+        assert [s.name for s in tracer.spans()] == ["op"]
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            ExemplarReservoir(capacity=0)
+
+
+# -- span-timing satellite -----------------------------------------------------
+
+
+class TestMonotonicSpanDuration:
+    def test_wall_clock_step_cannot_produce_negative_duration(self, monkeypatch):
+        tracer = enable()
+        real_time = time.time
+        with tracer.span("op", layer="sync"):
+            # A wall-clock step backwards mid-span (NTP correction).
+            monkeypatch.setattr(time, "time", lambda: real_time() - 3600.0)
+        monkeypatch.setattr(time, "time", real_time)
+        span = tracer.spans()[0]
+        assert span.end >= span.start
+        assert 0.0 <= span.duration < 1.0
