@@ -1,11 +1,13 @@
-"""Ablation — the MOM broker hot path: commits/sec-per-shard baseline.
+"""Ablation — the MOM broker hot path: commits/sec-per-shard.
 
-ROADMAP item #1 will rebuild the broker dispatch path (batched
-enqueue/dequeue, publisher buffering, targeted wakeups); this experiment
-records the **before** picture it will be judged against.  Unlike the
+The committed ``dominant=queue-wait`` entry in the trajectory is the
+**before** picture of the broker-dispatch rebuild; this experiment now
+measures the rebuilt path — publisher-side cast buffering
+(``publish_buffer``/``publish_many``), batched dispatch into prefetch
+windows, zero-copy payload handoff, targeted wakeups.  Unlike the
 sharding ablation, commits carry *no* modelled metadata service time, so
 the wall-clock is almost pure middleware: proxy serialization, exchange
-routing, queue lock cycles, prefetch-1 round-robin dispatch, skeleton
+routing, queue lock cycles, round-robin dispatch, skeleton
 deserialization.
 
 Each shard count runs twice over identical commit streams:
@@ -35,7 +37,7 @@ from repro.bench import record_benchmark_entry, render_table
 from repro.metadata import ShardedMetadataBackend
 from repro.mom import MessageBroker
 from repro.objectmq import Broker, shard_oid
-from repro.sync import SYNC_SERVICE_OID, SyncService, Workspace
+from repro.sync import SYNC_SERVICE_OID, SYNC_SERVICE_PREFETCH, SyncService, Workspace
 from repro.sync.interface import SyncServiceApi
 from repro.sync.models import ItemMetadata
 from repro.telemetry import disable, enable, get_tracer
@@ -53,6 +55,9 @@ SHARD_COUNTS = [1, 2, 4]
 WORKSPACES = 32
 FILES = ["a.txt", "b.txt"]
 VERSIONS = 2
+#: Client-side cast buffering (the rebuilt publish path's perf knobs).
+PUBLISH_BUFFER = 64
+PUBLISH_FLUSH_DEADLINE = 0.002
 #: Lock families the MOM wiring must expose in every contention report.
 EXPECTED_LOCK_FAMILIES = ("mom.queue.", "mom.broker.")
 
@@ -80,8 +85,18 @@ def run_commit_stream(shards: int, instrumented: bool):
         for shard in range(shards):
             service = SyncService(metadata, server)
             services.append(service)
-            server.bind(shard_oid(SYNC_SERVICE_OID, shard), service)
-        client = Broker(mom)
+            server.bind(
+                shard_oid(SYNC_SERVICE_OID, shard),
+                service,
+                prefetch=SYNC_SERVICE_PREFETCH,
+            )
+        client = Broker(
+            mom,
+            environment={
+                "publish_buffer": PUBLISH_BUFFER,
+                "publish_flush_deadline": PUBLISH_FLUSH_DEADLINE,
+            },
+        )
         proxy = client.lookup_sharded(SYNC_SERVICE_OID, SyncServiceApi, shards)
 
         total = WORKSPACES * len(FILES) * VERSIONS
@@ -97,6 +112,7 @@ def run_commit_stream(shards: int, instrumented: bool):
                         device_id="bench",
                     )
                     proxy.commit_request(workspace_id, "bench", [item])
+        client.flush_publishes()
         deadline = time.monotonic() + 60.0
         while sum(s.commit_count for s in services) < total:
             if time.monotonic() > deadline:
@@ -209,6 +225,9 @@ def test_ablation_broker_hot_path(benchmark):
             "files": FILES,
             "versions": VERSIONS,
             "service_delay_s": 0.0,
+            "publish_buffer": PUBLISH_BUFFER,
+            "publish_flush_deadline": PUBLISH_FLUSH_DEADLINE,
+            "prefetch": SYNC_SERVICE_PREFETCH,
         },
         totals={
             "wall_lock_wait_ms_4shard": sum(

@@ -115,7 +115,12 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     from repro.mom import MessageBroker
     from repro.objectmq import Broker
     from repro.storage import SwiftLikeStore
-    from repro.sync import SYNC_SERVICE_OID, SyncService, Workspace
+    from repro.sync import (
+        SYNC_SERVICE_OID,
+        SYNC_SERVICE_PREFETCH,
+        SyncService,
+        Workspace,
+    )
 
     mom = MessageBroker()
     metadata = MemoryMetadataBackend()
@@ -124,7 +129,10 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     workspace = Workspace(workspace_id="ws-demo", owner="demo")
     metadata.create_workspace(workspace)
     server = Broker(mom)
-    server.bind(SYNC_SERVICE_OID, SyncService(metadata, server))
+    server.bind(
+        SYNC_SERVICE_OID, SyncService(metadata, server),
+        prefetch=SYNC_SERVICE_PREFETCH,
+    )
 
     laptop = StackSyncClient("demo", workspace, mom, storage, device_id="laptop")
     phone = StackSyncClient("demo", workspace, mom, storage, device_id="phone")

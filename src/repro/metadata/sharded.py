@@ -92,6 +92,10 @@ class ShardedMetadataBackend(MetadataBackend):
         self.router = router or ShardRouter(len(engines))
         # Post-migration routing exceptions: workspace_id -> shard index.
         self._overrides: Dict[str, int] = {}
+        # workspace_id -> engine memo for the commit hot path; entries are
+        # invalidated when a migration moves the workspace.  Plain dict
+        # ops are atomic under CPython, so no extra lock is needed.
+        self._engine_cache: Dict[str, MetadataBackend] = {}
         # Write fence for in-flight migrations, guarded by one condition.
         self._fence = threading.Condition()
         self._fenced: set = set()
@@ -158,7 +162,11 @@ class ShardedMetadataBackend(MetadataBackend):
         return self.router.shard_for(workspace_id)
 
     def engine_for_workspace(self, workspace_id: str) -> MetadataBackend:
-        return self.engines[self.shard_for_workspace(workspace_id)]
+        engine = self._engine_cache.get(workspace_id)
+        if engine is None:
+            engine = self.engines[self.shard_for_workspace(workspace_id)]
+            self._engine_cache[workspace_id] = engine
+        return engine
 
     def _engine_for_item(self, item_id: str) -> Optional[MetadataBackend]:
         workspace_id = workspace_of_item(item_id)
@@ -167,7 +175,17 @@ class ShardedMetadataBackend(MetadataBackend):
         return self.engine_for_workspace(workspace_id)
 
     def _await_unfenced(self, workspace_id: str) -> None:
-        """Block while *workspace_id* is mid-migration (write fence)."""
+        """Block while *workspace_id* is mid-migration (write fence).
+
+        Fast path first: reading the fence set's emptiness is atomic
+        under CPython, and commits vastly outnumber migrations.  The
+        lock-free read races a fence being raised exactly as the locked
+        check does (a commit that passed the check before the fence
+        landed proceeds either way); the lock only matters for *waiting*,
+        so it is taken just when some workspace is actually fenced.
+        """
+        if not self._fenced:
+            return
         with self._fence:
             while workspace_id in self._fenced:
                 self._fence.wait()
@@ -332,6 +350,7 @@ class ShardedMetadataBackend(MetadataBackend):
                         f"{len(moved)} != {len(chain)} versions"
                     )
             self._overrides[workspace_id] = target_shard
+            self._engine_cache.pop(workspace_id, None)
             source.drop_workspace(workspace_id)
             self._migrations.inc()
             return {

@@ -19,7 +19,7 @@ benchmarks charge realistic network costs to every broker hop.
 from __future__ import annotations
 
 import time
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.errors import BrokerClosed, DeliveryError, ExchangeNotFound, QueueNotFound
 from repro.mom.exchange import EXCHANGE_TYPES, DirectExchange, Exchange
@@ -52,9 +52,34 @@ class BrokerStats:
             self.deliveries += queue_count
             self.bytes_published += message.size * max(1, queue_count)
 
+    def on_publish_many(self, accounted: Iterable[Tuple[int, int]]) -> None:
+        """Record a batch of publishes under one stats-lock acquisition.
+
+        *accounted* yields ``(payload_size, queue_count)`` pairs — the
+        batched counterpart of :meth:`on_publish`.
+        """
+        publishes = deliveries = total_bytes = 0
+        for size, queue_count in accounted:
+            publishes += 1
+            deliveries += queue_count
+            total_bytes += size * max(1, queue_count)
+        if not publishes:
+            return
+        with self._lock:
+            self.publishes += publishes
+            self.deliveries += deliveries
+            self.bytes_published += total_bytes
+
     def on_ack(self) -> None:
         with self._lock:
             self.acks += 1
+
+    def on_ack_many(self, count: int) -> None:
+        """Record *count* acks under one stats-lock acquisition."""
+        if count <= 0:
+            return
+        with self._lock:
+            self.acks += count
 
     def snapshot(self) -> Dict[str, int]:
         with self._lock:
@@ -75,6 +100,11 @@ class MessageBroker:
             publish — used by live benchmarks to model broker RTT.  Defaults
             to no latency.
     """
+
+    #: Capability flag: subscribers may pass ``batch_callback`` to
+    #: :meth:`consume` and settle whole batches via :meth:`ack_many`.
+    #: Adapters without the batched plane (e.g. SQS) leave this False.
+    supports_batch_consume = True
 
     def __init__(
         self,
@@ -163,6 +193,19 @@ class MessageBroker:
         with self._lock:
             return name in self._queues
 
+    def exchange_has_bindings(self, name: str) -> bool:
+        """True when exchange *name* exists and has at least one binding.
+
+        Publishers use this to skip serializing multicasts that would
+        route nowhere (an empty group is a no-op by contract); racing a
+        concurrent bind is benign — the same message could equally have
+        been published just before the bind.  Lock-free on purpose: this
+        probe runs once per commit on the notification hot path, and a
+        bare dict read is atomic under CPython.
+        """
+        exchange = self._exchanges.get(name)
+        return exchange is not None and exchange.has_bindings()
+
     def queue_names(self) -> List[str]:
         with self._lock:
             return sorted(self._queues)
@@ -178,37 +221,138 @@ class MessageBroker:
         routing key, declaring it lazily — this matches the paper's model
         where ``bind(oid, obj)`` creates the ``oid`` queue and clients
         simply publish to it by name.
+
+        Zero-copy contract: delivered to a single queue (the unicast RPC
+        hot path), the message object — and therefore its payload buffer,
+        which may be a ``memoryview`` — is handed through untouched.
+        Envelope copies happen only on true fanout (per-queue delivery
+        state), and payload bytes are materialized only for the durable
+        journal.
         """
         self._check_open()
         if self._publish_latency is not None:
             delay = self._publish_latency()
             if delay > 0:
                 time.sleep(delay)
-
-        if exchange_name == DEFAULT_EXCHANGE:
-            queue = self.declare_queue(routing_key)
-            destinations = [queue.name]
-        else:
-            exchange = self._get_exchange(exchange_name)
-            destinations = exchange.route(routing_key)
-
-        routed = 0
-        for queue_name in destinations:
-            with self._lock:
-                queue = self._queues.get(queue_name)
-            if queue is None:
-                continue
-            copy = message.copy_for_queue() if routed else message
-            if queue.durable:
-                self.store.record_publish(queue_name, copy)
-            queue.put(copy)
-            routed += 1
+        routed = self._route_one(exchange_name, routing_key, message)
         self.stats.on_publish(message, routed)
         if routed == 0 and exchange_name != DEFAULT_EXCHANGE:
             raise DeliveryError(
                 f"message with key {routing_key!r} matched no queue on "
                 f"exchange {exchange_name!r}"
             )
+        return routed
+
+    def publish_many(
+        self, items: Iterable[Tuple[str, str, Message]]
+    ) -> int:
+        """Publish a batch of ``(exchange, routing_key, message)`` at once.
+
+        The broker-side half of publisher buffering: the latency model is
+        charged **once** for the whole batch (that is the point — one
+        broker round trip amortized over N messages), messages bound for
+        the same queue are enqueued through a single
+        :meth:`MessageQueue.put_many` lock cycle, and the stats lock is
+        taken once.  Per-message routing semantics (lazy default-exchange
+        declaration, fanout copies, durable journalling) are identical to
+        :meth:`publish`.  Returns total queues reached; a non-default
+        exchange item that matches no queue raises :class:`DeliveryError`
+        *after* the rest of the batch has been delivered, preserving
+        at-least-once for every routable message.
+        """
+        batch = list(items)
+        if not batch:
+            return 0
+        self._check_open()
+        if self._publish_latency is not None:
+            delay = self._publish_latency()
+            if delay > 0:
+                time.sleep(delay)
+
+        # Group by (exchange, routing key) so routing is resolved once per
+        # distinct destination set, then group by queue so each
+        # destination pays one lock/dispatch cycle for the whole flush.
+        groups: Dict[Tuple[str, str], List[Message]] = {}
+        for exchange_name, routing_key, message in batch:
+            groups.setdefault((exchange_name, routing_key), []).append(message)
+        per_queue: Dict[str, Tuple[MessageQueue, List[Message]]] = {}
+        accounted: List[Tuple[int, int]] = []
+        unroutable: Optional[Tuple[str, str]] = None
+        total = 0
+        for (exchange_name, routing_key), messages in groups.items():
+            queues = self._resolve_queues(exchange_name, routing_key)
+            routed = len(queues)
+            total += routed * len(messages)
+            for message in messages:
+                accounted.append((message.size, routed))
+            if routed == 0:
+                if exchange_name != DEFAULT_EXCHANGE and unroutable is None:
+                    unroutable = (exchange_name, routing_key)
+                continue
+            for message in messages:
+                for index, queue in enumerate(queues):
+                    copy = message.copy_for_queue() if index else message
+                    if queue.durable:
+                        copy.materialize()
+                        self.store.record_publish(queue.name, copy)
+                    entry = per_queue.get(queue.name)
+                    if entry is None:
+                        per_queue[queue.name] = (queue, [copy])
+                    else:
+                        entry[1].append(copy)
+        for queue, messages in per_queue.values():
+            queue.put_many(messages)
+        self.stats.on_publish_many(accounted)
+        if unroutable is not None:
+            raise DeliveryError(
+                f"message with key {unroutable[1]!r} matched no queue on "
+                f"exchange {unroutable[0]!r}"
+            )
+        return total
+
+    def _resolve_queues(
+        self, exchange_name: str, routing_key: str
+    ) -> List[MessageQueue]:
+        """Live destination queues for one (exchange, routing key) pair."""
+        if exchange_name == DEFAULT_EXCHANGE:
+            destinations = [self.declare_queue(routing_key).name]
+        else:
+            exchange = self._get_exchange(exchange_name)
+            destinations = exchange.route(routing_key)
+        with self._lock:
+            return [
+                queue
+                for queue in (self._queues.get(name) for name in destinations)
+                if queue is not None
+            ]
+
+    def _resolve_destinations(
+        self, exchange_name: str, routing_key: str, message: Message
+    ) -> List[Tuple[MessageQueue, Message]]:
+        """Route *message*, pairing each destination queue with the envelope
+        it should enqueue (the original for the first queue, copies for
+        fanout siblings)."""
+        resolved: List[Tuple[MessageQueue, Message]] = []
+        for queue in self._resolve_queues(exchange_name, routing_key):
+            copy = message.copy_for_queue() if resolved else message
+            if queue.durable:
+                # The journal snapshots payloads; force bytes exactly once
+                # here so memoryview publishers stay copy-free elsewhere.
+                copy.materialize()
+            resolved.append((queue, copy))
+        return resolved
+
+    def _route_one(
+        self, exchange_name: str, routing_key: str, message: Message
+    ) -> int:
+        routed = 0
+        for queue, copy in self._resolve_destinations(
+            exchange_name, routing_key, message
+        ):
+            if queue.durable:
+                self.store.record_publish(queue.name, copy)
+            queue.put(copy)
+            routed += 1
         return routed
 
     def consume(
@@ -218,10 +362,17 @@ class MessageBroker:
         consumer_tag: str,
         prefetch: int = 1,
         auto_ack: bool = False,
+        batch_callback: Optional[Callable[[List[Delivery]], None]] = None,
     ) -> Consumer:
         self._check_open()
         queue = self._get_queue(queue_name)
-        return queue.add_consumer(consumer_tag, callback, prefetch=prefetch, auto_ack=auto_ack)
+        return queue.add_consumer(
+            consumer_tag,
+            callback,
+            prefetch=prefetch,
+            auto_ack=auto_ack,
+            batch_callback=batch_callback,
+        )
 
     def cancel(self, queue_name: str, consumer_tag: str) -> None:
         with self._lock:
@@ -242,6 +393,46 @@ class MessageBroker:
             self.stats.on_ack()
             if queue.durable:
                 self.store.record_ack(delivery.queue_name, delivery.message)
+
+    def ack_many(self, deliveries: List[Delivery]) -> int:
+        """Acknowledge a batch of deliveries; returns how many were acked.
+
+        The batched counterpart of :meth:`ack`: one queue-lock cycle per
+        destination queue, one stats update, and one journal sweep for
+        durable queues — a consumer that just processed a prefetch batch
+        settles the whole window in a handful of lock trips instead of
+        4 × N.  Unknown tags are skipped, exactly as :meth:`ack` ignores
+        them.
+        """
+        if not deliveries:
+            return 0
+        by_queue: Dict[str, List[Delivery]] = {}
+        for delivery in deliveries:
+            by_queue.setdefault(delivery.queue_name, []).append(delivery)
+        total = 0
+        for queue_name, queue_deliveries in by_queue.items():
+            with self._lock:
+                queue = self._queues.get(queue_name)
+            if queue is None:
+                continue
+            acked_tags = queue.ack_many(
+                [d.delivery_tag for d in queue_deliveries]
+            )
+            if not acked_tags:
+                continue
+            total += len(acked_tags)
+            self.stats.on_ack_many(len(acked_tags))
+            if queue.durable:
+                tag_set = set(acked_tags)
+                self.store.record_ack_many(
+                    queue_name,
+                    [
+                        d.message
+                        for d in queue_deliveries
+                        if d.delivery_tag in tag_set
+                    ],
+                )
+        return total
 
     def nack(self, delivery: Delivery, requeue: bool = True) -> None:
         with self._lock:

@@ -137,9 +137,32 @@ class BrokerCluster:
     def publish(self, exchange_name: str, routing_key: str, message: Message) -> int:
         return self.active.publish(exchange_name, routing_key, message)
 
-    def consume(self, queue_name, callback, consumer_tag, prefetch: int = 1, auto_ack: bool = False):
+    def publish_many(self, items) -> int:
+        """Batched publish on the active node (see
+        :meth:`MessageBroker.publish_many`).  A failover between flushes
+        simply lands the next batch on the promoted node — the shared
+        durable journal carries persistent messages across."""
+        return self.active.publish_many(items)
+
+    #: The facade inherits the batched consume/ack plane from its nodes.
+    supports_batch_consume = True
+
+    def consume(
+        self,
+        queue_name,
+        callback,
+        consumer_tag,
+        prefetch: int = 1,
+        auto_ack: bool = False,
+        batch_callback=None,
+    ):
         return self.active.consume(
-            queue_name, callback, consumer_tag, prefetch=prefetch, auto_ack=auto_ack
+            queue_name,
+            callback,
+            consumer_tag,
+            prefetch=prefetch,
+            auto_ack=auto_ack,
+            batch_callback=batch_callback,
         )
 
     def cancel(self, queue_name: str, consumer_tag: str) -> None:
@@ -151,11 +174,17 @@ class BrokerCluster:
     def ack(self, delivery: Delivery) -> None:
         self.active.ack(delivery)
 
+    def ack_many(self, deliveries: List[Delivery]) -> int:
+        return self.active.ack_many(deliveries)
+
     def nack(self, delivery: Delivery, requeue: bool = True) -> None:
         self.active.nack(delivery, requeue=requeue)
 
     def queue_exists(self, name: str) -> bool:
         return self.active.queue_exists(name)
+
+    def exchange_has_bindings(self, name: str) -> bool:
+        return self.active.exchange_has_bindings(name)
 
     def queue_depth(self, name: str) -> int:
         return self.active.queue_depth(name)

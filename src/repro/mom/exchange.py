@@ -10,6 +10,12 @@ The paper's ObjectMQ uses two routing behaviours (§3):
 A topic exchange is included because it falls out of the same structure and
 is convenient for tests and extensions (e.g. routing notifications by
 workspace hierarchy), though the core protocol does not need it.
+
+Routing is memoized: bindings change rarely (instance churn) while
+publishes are the hot path, so every exchange caches
+``routing_key → destination list`` and invalidates the memo on
+bind/unbind.  The topic exchange additionally compiles each binding
+pattern once at bind time instead of per publish.
 """
 
 from __future__ import annotations
@@ -30,10 +36,15 @@ class Exchange:
         self._lock = TimedLock(f"mom.exchange.{name or 'default'}")
         # binding key -> set of queue names
         self._bindings: Dict[str, Set[str]] = {}
+        # routing key -> resolved destination list; rebuilt lazily after
+        # any binding mutation.  Hit on every publish, so misses are the
+        # exception once a topology settles.
+        self._route_cache: Dict[str, List[str]] = {}
 
     def bind(self, queue_name: str, binding_key: str = "") -> None:
         with self._lock:
             self._bindings.setdefault(binding_key, set()).add(queue_name)
+            self._on_bindings_changed_locked()
 
     def unbind(self, queue_name: str, binding_key: str = "") -> None:
         with self._lock:
@@ -42,6 +53,7 @@ class Exchange:
                 queues.discard(queue_name)
                 if not queues:
                     del self._bindings[binding_key]
+                self._on_bindings_changed_locked()
 
     def unbind_queue_everywhere(self, queue_name: str) -> None:
         """Drop *queue_name* from every binding (queue deletion path)."""
@@ -53,9 +65,24 @@ class Exchange:
                     empty_keys.append(key)
             for key in empty_keys:
                 del self._bindings[key]
+            self._on_bindings_changed_locked()
+
+    def _on_bindings_changed_locked(self) -> None:
+        """Invalidate memoized routing state; subclasses may extend."""
+        self._route_cache.clear()
 
     def route(self, routing_key: str) -> List[str]:
-        """Return destination queue names for *routing_key*."""
+        """Return destination queue names for *routing_key* (memoized)."""
+        with self._lock:
+            cached = self._route_cache.get(routing_key)
+            if cached is None:
+                cached = self._route_locked(routing_key)
+                self._route_cache[routing_key] = cached
+            # Hand out a copy: the memo must stay immutable to callers.
+            return list(cached)
+
+    def _route_locked(self, routing_key: str) -> List[str]:
+        """Resolve *routing_key* with ``self._lock`` held (cache miss)."""
         raise NotImplementedError
 
     def bound_queues(self) -> Set[str]:
@@ -69,15 +96,28 @@ class Exchange:
         with self._lock:
             return sum(len(queues) for queues in self._bindings.values())
 
+    def has_bindings(self) -> bool:
+        """Cheap emptiness probe — publishers use it to skip dead fanouts.
+
+        Reads the binding table without the exchange lock: dict emptiness
+        is an atomic read under CPython, and the probe's contract already
+        tolerates racing a concurrent (un)bind.
+        """
+        return bool(self._bindings)
+
+    def route_cache_size(self) -> int:
+        """Memoized routing-key entries (introspection/tests)."""
+        with self._lock:
+            return len(self._route_cache)
+
 
 class DirectExchange(Exchange):
     """Route to queues whose binding key exactly matches the routing key."""
 
     type_name = "direct"
 
-    def route(self, routing_key: str) -> List[str]:
-        with self._lock:
-            return sorted(self._bindings.get(routing_key, ()))
+    def _route_locked(self, routing_key: str) -> List[str]:
+        return sorted(self._bindings.get(routing_key, ()))
 
 
 class FanoutExchange(Exchange):
@@ -90,21 +130,26 @@ class FanoutExchange(Exchange):
 
     type_name = "fanout"
 
-    def route(self, routing_key: str) -> List[str]:
-        with self._lock:
-            result: Set[str] = set()
-            for queues in self._bindings.values():
-                result |= queues
-            return sorted(result)
+    def _route_locked(self, routing_key: str) -> List[str]:
+        result: Set[str] = set()
+        for queues in self._bindings.values():
+            result |= queues
+        return sorted(result)
 
 
 class TopicExchange(Exchange):
     """Route on dotted patterns with AMQP wildcards.
 
     ``*`` matches exactly one word; ``#`` matches zero or more words.
+    Patterns are compiled once per binding key (at bind time), and match
+    results are memoized per routing key by the base class.
     """
 
     type_name = "topic"
+
+    def __init__(self, name: str):
+        super().__init__(name)
+        self._compiled: Dict[str, "re.Pattern[str]"] = {}
 
     @staticmethod
     def _pattern_to_regex(pattern: str) -> "re.Pattern[str]":
@@ -122,13 +167,24 @@ class TopicExchange(Exchange):
         regex = regex.replace(r"\..*", r"(?:\..*)?").replace(r".*\.", r"(?:.*\.)?")
         return re.compile(f"^{regex}$")
 
-    def route(self, routing_key: str) -> List[str]:
-        with self._lock:
-            result: Set[str] = set()
-            for pattern, queues in self._bindings.items():
-                if self._pattern_to_regex(pattern).match(routing_key):
-                    result |= queues
-            return sorted(result)
+    def _on_bindings_changed_locked(self) -> None:
+        super()._on_bindings_changed_locked()
+        # Drop compilations for vanished patterns; keep live ones (their
+        # regex is immutable, only the queue sets behind them change).
+        for pattern in list(self._compiled):
+            if pattern not in self._bindings:
+                del self._compiled[pattern]
+
+    def _route_locked(self, routing_key: str) -> List[str]:
+        result: Set[str] = set()
+        for pattern, queues in self._bindings.items():
+            compiled = self._compiled.get(pattern)
+            if compiled is None:
+                compiled = self._pattern_to_regex(pattern)
+                self._compiled[pattern] = compiled
+            if compiled.match(routing_key):
+                result |= queues
+        return sorted(result)
 
 
 EXCHANGE_TYPES = {

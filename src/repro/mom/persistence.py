@@ -42,6 +42,12 @@ class InMemoryMessageStore:
         with self._lock:
             self._entries.pop((queue_name, message.message_id), None)
 
+    def record_ack_many(self, queue_name: str, messages: Iterable[Message]) -> None:
+        """Drop a batch of journal entries under one store-lock cycle."""
+        with self._lock:
+            for message in messages:
+                self._entries.pop((queue_name, message.message_id), None)
+
     def pending_for(self, queue_name: str) -> List[Message]:
         """Messages published to *queue_name* but never acked, in id order."""
         with self._lock:
@@ -148,3 +154,9 @@ class FileMessageStore(InMemoryMessageStore):
             self._append(
                 {"op": "ack", "queue": queue_name, "message_id": message.message_id}
             )
+
+    def record_ack_many(self, queue_name: str, messages: Iterable[Message]) -> None:
+        # The journal needs one ack record per message, so the file store
+        # cannot use the base class's single-lock bulk pop.
+        for message in messages:
+            self.record_ack(queue_name, message)

@@ -8,10 +8,20 @@ window.  With ``prefetch=1`` this is exactly the "deliver to the first idle
 remote object" behaviour the paper describes, and it is what makes adding a
 SyncService instance immediately absorb load.
 
+The dispatch core is batched: one lock acquisition drains up to
+``batch_size`` ready messages *per consumer* into per-consumer mailboxes
+(one mailbox handoff per consumer per cycle, not one per message), and
+consumers with ``prefetch > 1`` have their whole window filled in a single
+cycle.  Pull-mode waiters are woken with *targeted* notifies — exactly as
+many waiters as there are messages to take — never a ``notify_all``
+stampede.
+
 Reliability: a delivery stays in the consumer's unacked set until it is
 acked.  If the consumer is cancelled or its owner crashes, every unacked
 message is put back at the head of the queue with ``redelivered=True`` —
-the at-least-once guarantee of §3.4.
+the at-least-once guarantee of §3.4.  Requeue re-enqueues the *same*
+message object (payload untouched, same ``message_id`` so the durable
+journal's ack bookkeeping still matches) in one batched splice.
 """
 
 from __future__ import annotations
@@ -22,7 +32,7 @@ import queue as stdlib_queue
 import threading
 import time
 from collections import deque
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, Iterable, List, Optional
 
 from repro.errors import DuplicateConsumer
 from repro.mom.message import Delivery, Message
@@ -32,16 +42,13 @@ from repro.telemetry.trace import DEQUEUED_AT_KEY, ENQUEUED_AT_KEY, TRACER
 
 logger = logging.getLogger(__name__)
 
-_delivery_tags = itertools.count(1)
-_delivery_tags_lock = threading.Lock()
-
 #: Sentinel pushed into a consumer mailbox to terminate its worker thread.
 _STOP = object()
 
-
-def _next_delivery_tag() -> int:
-    with _delivery_tags_lock:
-        return next(_delivery_tags)
+#: Most messages one dispatch cycle hands a single consumer.  Prefetch
+#: already bounds un-acked consumers; this bounds auto-ack consumers (and
+#: the mailbox burst size) so one drain cannot monopolize the lock.
+DEFAULT_BATCH_SIZE = 64
 
 
 class Consumer:
@@ -52,6 +59,14 @@ class Consumer:
     callback receives a :class:`Delivery`; acking is the responsibility of
     the subscriber (normally the ObjectMQ skeleton) via
     :meth:`MessageQueue.ack`.
+
+    The mailbox carries *batches*: the dispatch loop hands over a list of
+    deliveries per cycle, and the worker unpacks it — so a burst of N
+    messages costs one queue handoff, not N.  A subscriber that can
+    exploit whole batches (e.g. to ack them in one broker round trip)
+    registers a *batch_callback*, which then receives the full list and
+    owns per-delivery error handling; otherwise the per-delivery
+    ``callback`` is invoked for each element.
     """
 
     def __init__(
@@ -60,9 +75,11 @@ class Consumer:
         callback: Callable[[Delivery], None],
         prefetch: int = 1,
         auto_ack: bool = False,
+        batch_callback: Optional[Callable[[List[Delivery]], None]] = None,
     ):
         self.tag = tag
         self.callback = callback
+        self.batch_callback = batch_callback
         self.prefetch = max(1, prefetch)
         self.auto_ack = auto_ack
         self.unacked: Dict[int, Delivery] = {}
@@ -73,7 +90,11 @@ class Consumer:
         self._thread.start()
 
     def deliver(self, delivery: Delivery) -> None:
-        self._mailbox.put(delivery)
+        self._mailbox.put((delivery,))
+
+    def deliver_batch(self, deliveries: List[Delivery]) -> None:
+        """Hand a whole dispatch-cycle batch over in one mailbox put."""
+        self._mailbox.put(deliveries)
 
     def stop(self) -> None:
         self._mailbox.put(_STOP)
@@ -86,22 +107,55 @@ class Consumer:
             item = self._mailbox.get()
             if item is _STOP:
                 return
-            try:
-                self.callback(item)
-            except Exception:  # noqa: BLE001 - consumer bugs must not kill dispatch
-                logger.exception("consumer %s raised while handling delivery", self.tag)
+            if self.batch_callback is not None:
+                try:
+                    self.batch_callback(list(item))
+                except Exception:  # noqa: BLE001 - consumer bugs must not kill dispatch
+                    logger.exception(
+                        "consumer %s raised while handling batch", self.tag
+                    )
+                continue
+            for delivery in item:
+                try:
+                    self.callback(delivery)
+                except Exception:  # noqa: BLE001 - consumer bugs must not kill dispatch
+                    logger.exception(
+                        "consumer %s raised while handling delivery", self.tag
+                    )
 
 
 class MessageQueue:
-    """A named queue with ready buffer, consumers, and ack bookkeeping."""
+    """A named queue with ready buffer, consumers, and ack bookkeeping.
 
-    def __init__(self, name: str, durable: bool = False, exclusive: bool = False):
+    Args:
+        name: Queue name (routing target on the default exchange).
+        durable: Survive broker restarts (persistent messages replayed).
+        exclusive: Private single-owner queue (response/multicast queues).
+        batch_size: Max messages one dispatch cycle hands a single
+            consumer; see :data:`DEFAULT_BATCH_SIZE`.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        durable: bool = False,
+        exclusive: bool = False,
+        batch_size: int = DEFAULT_BATCH_SIZE,
+    ):
         self.name = name
         self.durable = durable
         self.exclusive = exclusive
+        self.batch_size = max(1, batch_size)
         self._ready: deque = deque()
         self._consumers: List[Consumer] = []
         self._rr_index = 0
+        # Delivery tags are queue-scoped (AMQP: channel-scoped) — handing
+        # one out is a plain next() under the queue lock, not a trip
+        # through a process-wide counter lock.
+        self._delivery_tags = itertools.count(1)
+        # Pull-mode waiters currently blocked in get(); the publish path
+        # wakes at most this many — and at most one per ready message.
+        self._pull_waiters = 0
         # Exclusive queues (per-proxy response queues, per-instance
         # multicast queues) share one contention label so lock-series
         # cardinality stays bounded by the number of queue *roles*.
@@ -121,6 +175,7 @@ class MessageQueue:
         # and numerous, so only named queues register a source.
         self.depth_high_water = 0
         self.dispatch_cycles = 0
+        self.batched_deliveries = 0
         self._source_token: Optional[int] = None
         if not exclusive:
             self._source_token = get_registry().register_source(
@@ -129,6 +184,7 @@ class MessageQueue:
                 lambda q: {
                     "depth_high_water": float(q.depth_high_water),
                     "dispatch_cycles": float(q.dispatch_cycles),
+                    "batched_deliveries": float(q.batched_deliveries),
                 },
                 queue=name,
             )
@@ -150,7 +206,42 @@ class MessageQueue:
             if len(self._ready) > self.depth_high_water:
                 self.depth_high_water = len(self._ready)
             self._dispatch_locked()
-            self._not_empty.notify_all()
+            self._notify_pull_waiters_locked()
+
+    def put_many(self, messages: Iterable[Message]) -> int:
+        """Enqueue a batch of messages under one lock acquisition.
+
+        This is the broker-side half of publisher buffering: a flushed
+        publish buffer lands its whole run of same-queue messages through
+        a single lock cycle and a single dispatch pass, instead of paying
+        the acquire/dispatch/notify cost per message.  Returns the number
+        of messages enqueued.
+        """
+        batch = list(messages)
+        if not batch:
+            return 0
+        if TRACER.enabled:
+            now = time.time()
+            for message in batch:
+                message.headers.setdefault(ENQUEUED_AT_KEY, now)
+        with self._lock:
+            self._ready.extend(batch)
+            self.published_count += len(batch)
+            if len(self._ready) > self.depth_high_water:
+                self.depth_high_water = len(self._ready)
+            self._dispatch_locked()
+            self._notify_pull_waiters_locked()
+        return len(batch)
+
+    def _notify_pull_waiters_locked(self) -> None:
+        """Wake exactly as many pull-mode getters as can make progress.
+
+        Replaces the ``notify_all`` stampede: each ready message wakes at
+        most one waiter, and waiters that cannot take a message are left
+        asleep instead of burning a wakeup/re-wait cycle.
+        """
+        if self._pull_waiters and self._ready:
+            self._not_empty.notify(min(len(self._ready), self._pull_waiters))
 
     # -- pull-mode (basic.get) ---------------------------------------------
 
@@ -162,24 +253,33 @@ class MessageQueue:
         response queues.
         """
         with self._not_empty:
-            if timeout is None:
-                while not self._ready:
-                    self._not_empty.wait()
-            else:
-                # Loop on a monotonic deadline: a single wait() can return
-                # early on a spurious wakeup, or after a racing getter
-                # stole the message that triggered the notify.
-                deadline = time.monotonic() + timeout
-                while not self._ready:
-                    remaining = deadline - time.monotonic()
-                    if remaining <= 0:
-                        return None
-                    self._not_empty.wait(remaining)
+            if not self._ready:
+                self._pull_waiters += 1
+                try:
+                    if timeout is None:
+                        while not self._ready:
+                            self._not_empty.wait()
+                    else:
+                        # Loop on a monotonic deadline: a single wait() can
+                        # return early on a spurious wakeup, or after a racing
+                        # getter stole the message that triggered the notify.
+                        deadline = time.monotonic() + timeout
+                        while not self._ready:
+                            remaining = deadline - time.monotonic()
+                            if remaining <= 0:
+                                return None
+                            self._not_empty.wait(remaining)
+                finally:
+                    self._pull_waiters -= 1
             self.delivered_count += 1
             self.acked_count += 1
             message = self._ready.popleft()
             if TRACER.enabled:
                 message.headers[DEQUEUED_AT_KEY] = time.time()
+            # Cascade: if messages remain and siblings still wait, pass
+            # exactly one wakeup on (covers a racing publisher whose
+            # notify landed on this getter for a different message).
+            self._notify_pull_waiters_locked()
             return message
 
     # -- push-mode (basic.consume) -------------------------------------------
@@ -190,11 +290,18 @@ class MessageQueue:
         callback: Callable[[Delivery], None],
         prefetch: int = 1,
         auto_ack: bool = False,
+        batch_callback: Optional[Callable[[List[Delivery]], None]] = None,
     ) -> Consumer:
         with self._lock:
             if any(c.tag == tag for c in self._consumers):
                 raise DuplicateConsumer(f"consumer tag {tag!r} already on {self.name!r}")
-            consumer = Consumer(tag, callback, prefetch=prefetch, auto_ack=auto_ack)
+            consumer = Consumer(
+                tag,
+                callback,
+                prefetch=prefetch,
+                auto_ack=auto_ack,
+                batch_callback=batch_callback,
+            )
             self._consumers.append(consumer)
             self._dispatch_locked()
         return consumer
@@ -205,22 +312,39 @@ class MessageQueue:
         This is the crash-recovery path from §3.4: when a SyncService
         instance dies mid-operation, its in-flight commit requests flow back
         to the queue and are redelivered to a surviving instance.
+
+        Requeue is batched: the consumer's unacked messages are spliced
+        back onto the head of the ready buffer in one ``extendleft``, in
+        their original delivery order, as the *same* message objects
+        (flagged ``redelivered=True``; no payload or envelope copies).
         """
         with self._lock:
             consumer = self._pop_consumer_locked(tag)
             if consumer is None:
                 return
             consumer.stop()
-            for delivery in sorted(
-                consumer.unacked.values(), key=lambda d: d.delivery_tag, reverse=True
-            ):
-                requeued = delivery.message.copy_for_queue()
-                requeued.redelivered = True
-                self._ready.appendleft(requeued)
-                self.redelivered_count += 1
-            consumer.unacked.clear()
+            requeued = self._requeue_unacked_locked(consumer)
             self._dispatch_locked()
-            self._not_empty.notify_all()
+            if requeued:
+                self._notify_pull_waiters_locked()
+
+    def _requeue_unacked_locked(self, consumer: Consumer) -> int:
+        """Splice *consumer*'s unacked messages back head-of-queue.
+
+        Returns the number of requeued messages.  Must be called with the
+        queue lock held.
+        """
+        if not consumer.unacked:
+            return 0
+        deliveries = sorted(consumer.unacked.values(), key=lambda d: d.delivery_tag)
+        consumer.unacked.clear()
+        for delivery in deliveries:
+            delivery.message.redelivered = True
+        # extendleft reverses, so feed it newest-first to land the batch
+        # ahead of the ready buffer in original (oldest-first) order.
+        self._ready.extendleft(d.message for d in reversed(deliveries))
+        self.redelivered_count += len(deliveries)
+        return len(deliveries)
 
     def _pop_consumer_locked(self, tag: str) -> Optional[Consumer]:
         for i, consumer in enumerate(self._consumers):
@@ -241,6 +365,27 @@ class MessageQueue:
                     return True
         return False
 
+    def ack_many(self, delivery_tags: List[int]) -> List[int]:
+        """Acknowledge a batch of deliveries in one lock cycle.
+
+        Returns the tags that were actually acked (unknown tags — e.g.
+        already requeued after a consumer crash — are skipped, exactly as
+        :meth:`ack` would report False for them).  Dispatch runs once at
+        the end: freeing N prefetch slots triggers one drain, not N.
+        """
+        acked: List[int] = []
+        with self._lock:
+            for delivery_tag in delivery_tags:
+                for consumer in self._consumers:
+                    if delivery_tag in consumer.unacked:
+                        del consumer.unacked[delivery_tag]
+                        acked.append(delivery_tag)
+                        break
+            if acked:
+                self.acked_count += len(acked)
+                self._dispatch_locked()
+        return acked
+
     def nack(self, delivery_tag: int, requeue: bool = True) -> bool:
         """Negatively acknowledge; optionally requeue at the head."""
         with self._lock:
@@ -248,54 +393,76 @@ class MessageQueue:
                 delivery = consumer.unacked.pop(delivery_tag, None)
                 if delivery is not None:
                     if requeue:
-                        requeued = delivery.message.copy_for_queue()
-                        requeued.redelivered = True
-                        self._ready.appendleft(requeued)
+                        delivery.message.redelivered = True
+                        self._ready.appendleft(delivery.message)
                         self.redelivered_count += 1
                     self._dispatch_locked()
+                    if requeue:
+                        self._notify_pull_waiters_locked()
                     return True
         return False
 
     # -- dispatch -------------------------------------------------------------
 
     def _dispatch_locked(self) -> None:
-        """Hand ready messages to eligible consumers, round-robin.
+        """Drain ready messages to eligible consumers in per-consumer batches.
 
         Must be called with ``self._lock`` held.  A consumer is eligible
-        when its unacked window is below its prefetch limit; with the
-        default prefetch of 1 this selects only idle consumers, which is the
-        transparent load balancing the paper credits the MOM layer with.
+        while its unacked window is below its prefetch limit; with the
+        default prefetch of 1 this selects only idle consumers, which is
+        the transparent load balancing the paper credits the MOM layer
+        with.  Consumers with wider windows (or ``auto_ack``) have up to
+        ``batch_size`` messages drained into their mailbox in this one
+        lock cycle — one mailbox handoff per consumer, not per message.
         """
         self.dispatch_cycles += 1
-        if not self._consumers:
+        if not self._consumers or not self._ready:
             return
+        stamp = time.time() if TRACER.enabled else None
+        # Rounds of capped batches: each round hands every consumer at
+        # most batch_size messages in one mailbox put, and rounds repeat
+        # until nothing more can move — a burst larger than batch_size is
+        # chunked, never stranded waiting for the next put/ack.
         while self._ready:
-            consumer = self._next_eligible_locked()
-            if consumer is None:
-                return
-            message = self._ready.popleft()
-            if TRACER.enabled:
-                message.headers[DEQUEUED_AT_KEY] = time.time()
-            delivery = Delivery(
-                delivery_tag=_next_delivery_tag(),
-                queue_name=self.name,
-                consumer_tag=consumer.tag,
-                message=message,
-            )
-            if not consumer.auto_ack:
-                consumer.unacked[delivery.delivery_tag] = delivery
-            else:
-                self.acked_count += 1
-            self.delivered_count += 1
-            consumer.deliver(delivery)
+            batches: "Dict[Consumer, List[Delivery]]" = {}
+            while self._ready:
+                consumer = self._next_eligible_locked(batches)
+                if consumer is None:
+                    break
+                message = self._ready.popleft()
+                if stamp is not None:
+                    message.headers[DEQUEUED_AT_KEY] = stamp
+                delivery = Delivery(
+                    delivery_tag=next(self._delivery_tags),
+                    queue_name=self.name,
+                    consumer_tag=consumer.tag,
+                    message=message,
+                )
+                if not consumer.auto_ack:
+                    consumer.unacked[delivery.delivery_tag] = delivery
+                else:
+                    self.acked_count += 1
+                self.delivered_count += 1
+                batches.setdefault(consumer, []).append(delivery)
+            if not batches:
+                break
+            for consumer, batch in batches.items():
+                if len(batch) > 1:
+                    self.batched_deliveries += len(batch)
+                consumer.deliver_batch(batch)
 
-    def _next_eligible_locked(self) -> Optional[Consumer]:
+    def _next_eligible_locked(
+        self, batches: Optional["Dict[Consumer, List[Delivery]]"] = None
+    ) -> Optional[Consumer]:
         n = len(self._consumers)
         for offset in range(n):
             candidate = self._consumers[(self._rr_index + offset) % n]
-            if len(candidate.unacked) < candidate.prefetch:
-                self._rr_index = (self._rr_index + offset + 1) % n
-                return candidate
+            if len(candidate.unacked) >= candidate.prefetch:
+                continue
+            if batches is not None and len(batches.get(candidate, ())) >= self.batch_size:
+                continue
+            self._rr_index = (self._rr_index + offset + 1) % n
+            return candidate
         return None
 
     # -- introspection ----------------------------------------------------------

@@ -122,6 +122,7 @@ class Proxy:
         self._oid = oid
         self._interface_name = interface_name
         self._specs = specs
+        self._multi_exchange_declared = False
         self.call_stats = CallStats()
         REGISTRY.register_source(
             "omq_proxy",
@@ -168,7 +169,9 @@ class Proxy:
 
     # -- invocation paths ----------------------------------------------------------
 
-    def _publish(self, exchange: str, routing_key: str, envelope: dict) -> int:
+    def _publish(
+        self, exchange: str, routing_key: str, envelope: dict, buffered: bool = False
+    ) -> int:
         if self._broker.call_context:
             envelope["context"] = dict(self._broker.call_context)
         headers = None
@@ -195,12 +198,17 @@ class Proxy:
             headers=headers if headers is not None else {},
             delivery_mode=PERSISTENT,
         )
+        if buffered and self._broker.publish_buffered(exchange, routing_key, message):
+            return 1
+        # Unbuffered publishes drain the cast buffer first, so the order
+        # the broker observes matches the order this client published in.
+        self._broker.flush_publishes()
         return self._broker.mom.publish(exchange, routing_key, message)
 
     def _invoke_async(self, method: str, spec: CallSpec, args, kwargs) -> None:
         with TRACER.span(f"proxy.cast:{method}", layer="proxy"):
             envelope = make_request(method, list(args), kwargs, call="async", multi=False)
-            self._publish("", self._oid, envelope)
+            self._publish("", self._oid, envelope, buffered=True)
 
     def _invoke_sync(self, method: str, spec: CallSpec, args, kwargs) -> Any:
         correlation_id = new_correlation_id()
@@ -277,12 +285,17 @@ class Proxy:
 
     def _invoke_multi_async(self, method: str, spec: CallSpec, args, kwargs) -> int:
         with TRACER.span(f"proxy.multicast:{method}", layer="proxy"):
+            exchange = self._multi_exchange()
+            if not self._exchange_has_listeners(exchange):
+                # Nobody is bound to the fanout: a multicast to an empty
+                # group is a no-op by contract, so skip serialization and
+                # the broker round trip entirely.
+                return 0
             envelope = make_request(method, list(args), kwargs, call="async", multi=True)
             try:
-                return self._publish(self._multi_exchange(), self._oid, envelope)
+                return self._publish(exchange, self._oid, envelope)
             except DeliveryError:
-                # Nobody is bound to the fanout yet: a multicast to an empty
-                # group is a no-op, not an error.
+                # Raced the last unbind: same no-op.
                 return 0
 
     def _invoke_multi_sync(self, method: str, spec: CallSpec, args, kwargs) -> List[Any]:
@@ -322,8 +335,28 @@ class Proxy:
 
     def _multi_exchange(self) -> str:
         exchange = multi_exchange_name(self._oid)
-        self._broker.mom.declare_exchange(exchange, "fanout")
+        if not self._multi_exchange_declared:
+            # Declaration is idempotent; remember it so the multicast hot
+            # path stops paying a broker-lock trip per call.
+            self._broker.mom.declare_exchange(exchange, "fanout")
+            self._multi_exchange_declared = True
         return exchange
+
+    def _exchange_has_listeners(self, exchange: str) -> bool:
+        has_bindings = getattr(self._broker.mom, "exchange_has_bindings", None)
+        if has_bindings is None:
+            # Adapter without the probe (e.g. SQS): assume listeners.
+            return True
+        return has_bindings(exchange)
+
+    def has_multicast_listeners(self) -> bool:
+        """True when at least one instance is bound to this oid's fanout.
+
+        Callers with expensive payloads (e.g. commit notifications) probe
+        this before even *building* the message; racing a concurrent bind
+        is benign — identical to publishing just before it.
+        """
+        return self._exchange_has_listeners(self._multi_exchange())
 
     @staticmethod
     def _unwrap(method: str, reply: dict) -> Any:

@@ -34,6 +34,13 @@ class ShardRouter:
             replicas=1,
             power=power,
         )
+        # key -> shard memo.  The router's ring is fixed at construction
+        # (shard count never changes on a live router), so entries never
+        # go stale; the cap only bounds memory on adversarial key sets.
+        # Plain dict ops are atomic under CPython — no lock, a racing
+        # recompute just stores the same value twice.
+        self._memo: Dict[str, int] = {}
+        self._memo_cap = 65536
 
     @staticmethod
     def shard_name(shard: int) -> str:
@@ -41,8 +48,15 @@ class ShardRouter:
 
     def shard_for(self, key: str) -> int:
         """The shard index in ``[0, num_shards)`` owning *key*."""
-        name = self._ring.primary_for(str(key))
-        return int(name.rsplit(".", 1)[1])
+        key = str(key)
+        shard = self._memo.get(key)
+        if shard is None:
+            name = self._ring.primary_for(key)
+            shard = int(name.rsplit(".", 1)[1])
+            if len(self._memo) >= self._memo_cap:
+                self._memo.clear()
+            self._memo[key] = shard
+        return shard
 
     def shards(self) -> List[int]:
         return list(range(self.num_shards))

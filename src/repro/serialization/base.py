@@ -70,20 +70,26 @@ class WireRegistry:
         return obj
 
     def raise_(self, obj: Any) -> Any:
-        """Recursively convert tagged dicts back into registered types."""
+        """Recursively convert tagged dicts back into registered types.
+
+        Only string-valued ``__wire__`` entries are wire tags (tags are
+        strings by construction); a dict whose ``__wire__`` holds any
+        other type is plain application data and passes through intact.
+        """
         if isinstance(obj, dict):
             tag = obj.get("__wire__")
-            raised = {
-                key: self.raise_(value)
-                for key, value in obj.items()
-                if key != "__wire__"
-            }
-            if tag is not None:
+            if isinstance(tag, str):
                 from_wire = self._by_tag.get(tag)
                 if from_wire is None:
                     raise SerializationError(f"unknown wire tag {tag!r}")
-                return from_wire(raised)
-            return raised
+                return from_wire(
+                    {
+                        key: self.raise_(value)
+                        for key, value in obj.items()
+                        if key != "__wire__"
+                    }
+                )
+            return {key: self.raise_(value) for key, value in obj.items()}
         if isinstance(obj, list):
             return [self.raise_(item) for item in obj]
         return obj

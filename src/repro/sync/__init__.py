@@ -9,6 +9,7 @@ from repro.sync.auth import (
 from repro.sync.interface import (
     RemoteWorkspaceApi,
     SYNC_SERVICE_OID,
+    SYNC_SERVICE_PREFETCH,
     SyncServiceApi,
     workspace_oid,
 )
@@ -31,6 +32,7 @@ __all__ = [
     "STATUS_DELETED",
     "STATUS_NEW",
     "SYNC_SERVICE_OID",
+    "SYNC_SERVICE_PREFETCH",
     "CommitNotification",
     "CommitResult",
     "ItemMetadata",

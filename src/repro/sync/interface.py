@@ -21,6 +21,19 @@ from repro.objectmq.annotations import (
 #: Well-known oid the SyncService pool binds under.
 SYNC_SERVICE_OID = "syncservice"
 
+#: Prefetch window SyncService deployments bind with.  The service is
+#: stateless and commit handling is short, so letting the MOM park a
+#: run of requests in each instance's mailbox (filled in one batched
+#: dispatch cycle, settled with one batched ack) amortizes the queue
+#: lock without starving siblings.  Sized to the publish-buffer flush
+#: batch: a whole client-side burst moves broker → consumer in one
+#: dispatch round instead of dribbling through ack-at-a-time windows.
+#: The cost is the standard AMQP trade — a wider redelivery window on
+#: crash — which at-least-once semantics absorb; elasticity experiments
+#: that depend on strict first-idle-instance balancing still pass
+#: ``prefetch=1`` explicitly.
+SYNC_SERVICE_PREFETCH = 64
+
 
 def workspace_oid(workspace_id: str) -> str:
     """The oid whose fanout carries a workspace's commit notifications."""

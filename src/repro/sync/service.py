@@ -141,25 +141,34 @@ class SyncService(HasObjectInfo):
             # The whole bundle commits in one back-end transaction; conflicts
             # stay per item (first-writer-wins, winner piggybacked).
             outcomes = self.metadata.store_versions_bulk(objects_changed)
-            results: List[CommitResult] = []
+            conflicts = 0
             for new_object, (confirmed, current) in zip(objects_changed, outcomes):
                 if not confirmed:
+                    conflicts += 1
                     logger.debug(
                         "conflict on %s: proposed v%d, current v%s",
                         new_object.item_id,
                         new_object.version,
                         getattr(current, "version", None),
                     )
-                results.append(
-                    CommitResult(
-                        metadata=new_object, confirmed=confirmed, current=current
-                    )
-                )
 
             with self._lock:
                 self.commit_count += 1
-                self.conflict_count += sum(1 for r in results if not r.confirmed)
+                self.conflict_count += conflicts
 
+            if not self.broker.multicast_has_listeners(workspace_oid(workspace_id)):
+                # No device is bound to the workspace fanout: skip the
+                # notification proxy, the per-item CommitResult envelopes,
+                # and the notification itself (the multicast would be a
+                # no-op anyway).  The probe is a lock-free exchange
+                # lookup, so quiet workspaces never pay notification
+                # plumbing at all.
+                return
+            results: List[CommitResult] = [
+                CommitResult(metadata=new_object, confirmed=confirmed, current=current)
+                for new_object, (confirmed, current) in zip(objects_changed, outcomes)
+            ]
+            workspace_proxy = self._workspace(workspace_id)
             notification = CommitNotification(
                 workspace_id=workspace_id,
                 source_device=device_id,
@@ -168,7 +177,7 @@ class SyncService(HasObjectInfo):
                 request_id=request_id or uuid.uuid4().hex,
             )
             with TRACER.span("sync.notify_commit", layer="sync"):
-                self._workspace(workspace_id).notify_commit(notification)
+                workspace_proxy.notify_commit(notification)
 
     def create_workspace(
         self, workspace_id: str, owner: str, name: str = ""

@@ -1,0 +1,281 @@
+"""Batched dispatch: per-consumer batches, requeue ordering, targeted wakeups.
+
+These tests pin the rebuilt dispatch core: one lock cycle drains a run of
+ready messages into per-consumer mailbox batches, delivery tags are
+queue-scoped, requeue-on-cancel splices the whole unacked window back
+head-of-queue in original order, and pull-mode publishes wake exactly as
+many waiters as there are messages.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.mom.broker_server import MessageBroker
+from repro.mom.message import PERSISTENT, Message
+from repro.mom.queue import MessageQueue
+
+from tests.mom.test_queue import Collector, drain_wait
+
+
+def test_wide_prefetch_window_filled_in_one_cycle():
+    queue = MessageQueue("q")
+    collector = Collector()  # no acks: the window stays occupied
+    queue.add_consumer("c1", collector, prefetch=8)
+    queue.put_many([Message(f"m{i}".encode()) for i in range(8)])
+    assert drain_wait(lambda: collector.count() == 8)
+    assert collector.bodies() == [f"m{i}".encode() for i in range(8)]
+    # The whole window went over as one batch, not eight mailbox puts.
+    assert queue.batched_deliveries == 8
+    assert queue.unacked_count == 8
+
+
+def test_burst_larger_than_batch_size_is_chunked_not_stranded():
+    queue = MessageQueue("q", batch_size=2)
+    collector = Collector()
+    queue.add_consumer("c1", collector, auto_ack=True)
+    # One put_many, no further puts/acks to re-trigger dispatch: every
+    # message must still arrive (in chunks of batch_size).
+    queue.put_many([Message(f"m{i}".encode()) for i in range(7)])
+    assert drain_wait(lambda: collector.count() == 7)
+    assert collector.bodies() == [f"m{i}".encode() for i in range(7)]
+
+
+def test_put_many_preserves_fifo_and_counts():
+    queue = MessageQueue("q")
+    queue.put_many([Message(b"a"), Message(b"b")])
+    queue.put_many([])
+    queue.put_many([Message(b"c")])
+    assert queue.published_count == 3
+    assert [queue.get(timeout=0.2).body for _ in range(3)] == [b"a", b"b", b"c"]
+
+
+def test_delivery_tags_are_queue_scoped():
+    q1, q2 = MessageQueue("q1"), MessageQueue("q2")
+    col1, col2 = Collector(), Collector()
+    q1.add_consumer("c", col1, prefetch=4)
+    q2.add_consumer("c", col2, prefetch=4)
+    q1.put_many([Message(b"x"), Message(b"y"), Message(b"z")])
+    q2.put(Message(b"w"))
+    assert drain_wait(lambda: col1.count() == 3 and col2.count() == 1)
+    with col1.lock:
+        assert [d.delivery_tag for d in col1.deliveries] == [1, 2, 3]
+    with col2.lock:
+        # A fresh queue starts its own tag sequence at 1 — tags are not
+        # drawn from a process-global counter.
+        assert [d.delivery_tag for d in col2.deliveries] == [1]
+
+
+def test_cancel_requeues_whole_batch_in_original_order():
+    queue = MessageQueue("q")
+    collector = Collector()  # never acks
+    queue.add_consumer("c1", collector, prefetch=4)
+    originals = [Message(f"m{i}".encode()) for i in range(4)]
+    queue.put_many(originals)
+    assert drain_wait(lambda: collector.count() == 4)
+    queue.cancel_consumer("c1")
+    # Same message objects (same ids, payload untouched), redelivered
+    # flag set, back at the head in original delivery order.
+    survivor = Collector(queue)
+    queue.add_consumer("c2", survivor, prefetch=4)
+    assert drain_wait(lambda: survivor.count() == 4)
+    with survivor.lock:
+        redelivered = [d.message for d in survivor.deliveries]
+    assert [m.body for m in redelivered] == [m.body for m in originals]
+    assert [m.message_id for m in redelivered] == [m.message_id for m in originals]
+    assert all(m.redelivered for m in redelivered)
+    assert queue.redelivered_count == 4
+
+
+def test_cancel_mid_batch_requeues_unacked_ahead_of_ready():
+    queue = MessageQueue("q")
+    collector = Collector()
+    queue.add_consumer("c1", collector, prefetch=4)
+    queue.put_many([Message(f"m{i}".encode()) for i in range(6)])
+    assert drain_wait(lambda: collector.count() == 4)
+    assert len(queue) == 2  # m4, m5 still ready
+    # Crash with the batch half-processed: the 4 in-flight messages land
+    # ahead of the untouched ready tail, and only they carry the flag.
+    queue.cancel_consumer("c1")
+    drained = queue.drain_messages()
+    assert [m.body for m in drained] == [b"m0", b"m1", b"m2", b"m3", b"m4", b"m5"]
+    assert [m.redelivered for m in drained] == [True] * 4 + [False] * 2
+    assert queue.redelivered_count == 4
+    assert queue.unacked_count == 0
+
+
+def test_ack_bookkeeping_under_batched_dispatch():
+    queue = MessageQueue("q")
+    collector = Collector()
+    queue.add_consumer("c1", collector, prefetch=8)
+    queue.put_many([Message(f"m{i}".encode()) for i in range(5)])
+    assert drain_wait(lambda: collector.count() == 5)
+    assert queue.unacked_count == 5
+    with collector.lock:
+        tags = [d.delivery_tag for d in collector.deliveries]
+    for tag in tags:
+        assert queue.ack(tag)
+    assert not queue.ack(tags[0])  # double-ack of a batched tag is rejected
+    assert queue.unacked_count == 0
+    assert queue.acked_count == 5
+    assert queue.delivered_count == 5
+
+
+def test_ack_many_settles_whole_window_in_one_lock_cycle():
+    queue = MessageQueue("q")
+    collector = Collector()
+    queue.add_consumer("c1", collector, prefetch=8)
+    queue.put_many([Message(f"m{i}".encode()) for i in range(6)])
+    assert drain_wait(lambda: collector.count() == 6)
+    with collector.lock:
+        tags = [d.delivery_tag for d in collector.deliveries]
+    cycles_before = queue.dispatch_cycles
+    assert queue.ack_many(tags) == tags
+    # One dispatch ran for the whole settled window, not one per ack.
+    assert queue.dispatch_cycles == cycles_before + 1
+    assert queue.unacked_count == 0
+    assert queue.acked_count == 6
+    # Settled tags behave exactly like individually acked ones.
+    assert not queue.ack(tags[0])
+    assert queue.ack_many(tags) == []
+
+
+def test_ack_many_skips_tags_requeued_by_a_crash():
+    queue = MessageQueue("q")
+    collector = Collector()
+    queue.add_consumer("c1", collector, prefetch=4)
+    queue.put_many([Message(b"a"), Message(b"b")])
+    assert drain_wait(lambda: collector.count() == 2)
+    with collector.lock:
+        tags = [d.delivery_tag for d in collector.deliveries]
+    # Crash before the batch ack: both messages flow back to ready.
+    queue.cancel_consumer("c1")
+    assert queue.ack_many(tags) == []  # stale tags are ignored, not fatal
+    assert len(queue) == 2
+    assert queue.acked_count == 0
+
+
+def test_batch_callback_receives_whole_dispatch_batches():
+    queue = MessageQueue("q")
+    batches = []
+    lock = threading.Lock()
+
+    def on_batch(deliveries):
+        with lock:
+            batches.append(deliveries)
+        queue.ack_many([d.delivery_tag for d in deliveries])
+
+    queue.add_consumer("c1", lambda d: None, prefetch=8, batch_callback=on_batch)
+    queue.put_many([Message(f"m{i}".encode()) for i in range(8)])
+    assert drain_wait(lambda: queue.acked_count == 8)
+    with lock:
+        assert len(batches) == 1  # the whole window came over as one list
+        assert [d.message.body for d in batches[0]] == [
+            f"m{i}".encode() for i in range(8)
+        ]
+
+
+def test_broker_ack_many_clears_durable_journal_per_settled_tag():
+    broker = MessageBroker()
+    broker.declare_queue("jobs", durable=True)
+    collector = Collector()
+    broker.consume("jobs", collector, consumer_tag="c1", prefetch=8)
+    for i in range(4):
+        broker.publish(
+            "", "jobs", Message(f"m{i}".encode(), delivery_mode=PERSISTENT)
+        )
+    assert drain_wait(lambda: collector.count() == 4)
+    assert len(broker.store.pending_for("jobs")) == 4
+    with collector.lock:
+        deliveries = list(collector.deliveries)
+    # Settle the first three as a batch, leave the last unacked: exactly
+    # the settled messages leave the journal.
+    assert broker.ack_many(deliveries[:3]) == 3
+    pending = broker.store.pending_for("jobs")
+    assert [m.body for m in pending] == [b"m3"]
+    assert broker.stats.snapshot()["acks"] == 3
+    # A second settle of the same tags is a no-op, not a double ack.
+    assert broker.ack_many(deliveries[:3]) == 0
+    broker.close()
+
+
+def test_publish_wakes_exactly_as_many_getters_as_messages():
+    queue = MessageQueue("q")
+    notify_counts = []
+    original_notify = queue._not_empty.notify
+
+    def counting_notify(n=1):
+        notify_counts.append(n)
+        original_notify(n)
+
+    queue._not_empty.notify = counting_notify
+
+    results = []
+    results_lock = threading.Lock()
+
+    def getter():
+        message = queue.get(timeout=1.5)
+        with results_lock:
+            results.append(message)
+
+    threads = [threading.Thread(target=getter) for _ in range(3)]
+    for thread in threads:
+        thread.start()
+    assert drain_wait(lambda: queue._pull_waiters == 3)
+
+    queue.put(Message(b"only"))
+    assert drain_wait(lambda: len(results) == 1)
+    # One message, three sleepers: exactly one targeted wakeup, and no
+    # cascade (nothing left to take).  A notify_all here would show 3.
+    assert notify_counts == [1]
+
+    queue.put_many([Message(b"x"), Message(b"y")])
+    for thread in threads:
+        thread.join(timeout=2.0)
+    with results_lock:
+        assert sorted(m.body for m in results) == [b"only", b"x", b"y"]
+    assert sum(notify_counts) <= 3 + 2  # publish notifies + bounded cascades
+
+
+def test_getter_timeouts_unaffected_by_targeted_wakeups():
+    queue = MessageQueue("q")
+    results = []
+    results_lock = threading.Lock()
+
+    def getter():
+        message = queue.get(timeout=0.6)
+        with results_lock:
+            results.append(message)
+
+    threads = [threading.Thread(target=getter) for _ in range(4)]
+    for thread in threads:
+        thread.start()
+    assert drain_wait(lambda: queue._pull_waiters == 4)
+    queue.put_many([Message(b"a"), Message(b"b")])
+    for thread in threads:
+        thread.join(timeout=2.0)
+    with results_lock:
+        taken = [m for m in results if m is not None]
+        misses = [m for m in results if m is None]
+    # Exactly the published messages are taken; the other waiters still
+    # time out cleanly (they are simply never woken needlessly).
+    assert sorted(m.body for m in taken) == [b"a", b"b"]
+    assert len(misses) == 2
+
+
+def test_redelivered_message_keeps_flag_through_second_cancel():
+    queue = MessageQueue("q")
+    first = Collector()
+    queue.add_consumer("c1", first, prefetch=2)
+    queue.put_many([Message(b"a"), Message(b"b")])
+    assert drain_wait(lambda: first.count() == 2)
+    queue.cancel_consumer("c1")
+    second = Collector()
+    queue.add_consumer("c2", second, prefetch=2)
+    assert drain_wait(lambda: second.count() == 2)
+    queue.cancel_consumer("c2")
+    messages = queue.drain_messages()
+    assert [m.body for m in messages] == [b"a", b"b"]
+    assert all(m.redelivered for m in messages)
+    assert queue.redelivered_count == 4

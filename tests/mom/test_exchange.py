@@ -79,3 +79,55 @@ def test_topic_literal():
     exchange.bind("q", "exact.key")
     assert exchange.route("exact.key") == ["q"]
     assert exchange.route("exact.other") == []
+
+
+# -- route memoization --------------------------------------------------------
+
+
+def test_route_results_are_memoized_per_key():
+    exchange = TopicExchange("x")
+    exchange.bind("q", "workspace.*.commits")
+    assert exchange.route_cache_size() == 0
+    exchange.route("workspace.ws1.commits")
+    exchange.route("workspace.ws2.commits")
+    exchange.route("workspace.ws1.commits")  # hit, no new entry
+    assert exchange.route_cache_size() == 2
+
+
+def test_bind_invalidates_route_cache():
+    exchange = DirectExchange("x")
+    exchange.bind("q1", "k")
+    assert exchange.route("k") == ["q1"]
+    exchange.bind("q2", "k")
+    assert exchange.route_cache_size() == 0
+    assert exchange.route("k") == ["q1", "q2"]
+
+
+def test_unbind_invalidates_route_cache():
+    exchange = FanoutExchange("x")
+    exchange.bind("q1")
+    exchange.bind("q2")
+    assert exchange.route("anything") == ["q1", "q2"]
+    exchange.unbind("q1")
+    assert exchange.route("anything") == ["q2"]
+    exchange.unbind_queue_everywhere("q2")
+    assert exchange.route("anything") == []
+
+
+def test_cached_route_lists_are_safe_to_mutate():
+    exchange = DirectExchange("x")
+    exchange.bind("q1", "k")
+    first = exchange.route("k")
+    first.append("tampered")
+    assert exchange.route("k") == ["q1"]
+
+
+def test_topic_patterns_compiled_once_and_pruned():
+    exchange = TopicExchange("x")
+    exchange.bind("q", "a.*")
+    exchange.route("a.b")
+    compiled = exchange._compiled["a.*"]
+    exchange.route("a.c")
+    assert exchange._compiled["a.*"] is compiled  # reused, not recompiled
+    exchange.unbind("q", "a.*")
+    assert "a.*" not in exchange._compiled  # pruned with its binding

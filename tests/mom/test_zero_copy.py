@@ -1,0 +1,109 @@
+"""Zero-copy payload handoff through broker → exchange → queue → consumer.
+
+The unicast RPC hot path must deliver the publisher's message object (and
+payload buffer) untouched; envelope copies happen only on true fanout and
+payload bytes are materialized only for the durable journal.
+"""
+
+from __future__ import annotations
+
+from repro.mom.broker_server import MessageBroker
+from repro.mom.message import Message
+
+from tests.mom.test_queue import Collector, drain_wait
+
+
+def test_single_queue_publish_hands_over_the_same_object():
+    broker = MessageBroker()
+    broker.declare_queue("q")
+    payload = memoryview(b"chunk-bytes" * 64)
+    message = Message(payload)
+    broker.publish("", "q", message)
+    delivered = broker.get("q", timeout=0.5)
+    # Same envelope, same buffer: no copy anywhere on the unicast path.
+    assert delivered is message
+    assert delivered.body is payload
+    broker.close()
+
+
+def test_push_mode_delivery_keeps_memoryview_body():
+    broker = MessageBroker()
+    broker.declare_queue("q")
+    collector = Collector()
+    broker.consume("q", collector, consumer_tag="c1", auto_ack=True)
+    payload = memoryview(b"x" * 1024)
+    broker.publish("", "q", Message(payload))
+    assert drain_wait(lambda: collector.count() == 1)
+    with collector.lock:
+        body = collector.deliveries[0].message.body
+    assert body is payload
+    broker.close()
+
+
+def test_fanout_copies_envelopes_but_shares_the_buffer():
+    broker = MessageBroker()
+    broker.declare_exchange("fan", "fanout")
+    for name in ("q1", "q2", "q3"):
+        broker.declare_queue(name)
+        broker.bind_queue("fan", name)
+    payload = memoryview(b"shared-payload")
+    original = Message(payload)
+    assert broker.publish("fan", "", original) == 3
+    delivered = [broker.get(name, timeout=0.5) for name in ("q1", "q2", "q3")]
+    # One destination gets the original, the siblings fresh envelopes —
+    # per-queue delivery state must be independent.
+    assert sum(1 for m in delivered if m is original) == 1
+    assert len({id(m) for m in delivered}) == 3
+    # But every envelope rides the same underlying payload buffer.
+    for m in delivered:
+        assert m.body is payload
+    broker.close()
+
+
+def test_durable_queue_materializes_payload_to_bytes():
+    broker = MessageBroker()
+    broker.declare_queue("d", durable=True)
+    buffer = bytearray(b"recyclable buffer")
+    message = Message(memoryview(buffer))
+    broker.publish("", "d", message)
+    # The journal needs a stable snapshot: the body was forced to bytes
+    # exactly once, so recycling the publisher's buffer is now safe.
+    buffer[:1] = b"X"
+    delivered = broker.get("d", timeout=0.5)
+    assert isinstance(delivered.body, bytes)
+    assert delivered.body == b"recyclable buffer"
+    broker.close()
+
+
+def test_materialize_is_idempotent_and_copy_free_for_bytes():
+    raw = b"already-bytes"
+    message = Message(raw)
+    assert message.materialize() is raw
+    view_backed = Message(memoryview(b"view"))
+    first = view_backed.materialize()
+    assert isinstance(first, bytes)
+    assert view_backed.materialize() is first
+
+
+def test_requeue_keeps_message_id_so_durable_acks_still_match():
+    broker = MessageBroker()
+    broker.declare_queue("d", durable=True)
+    collector = Collector()  # holds the delivery unacked
+    broker.consume("d", collector, consumer_tag="c1")
+    message = Message(b"commit", delivery_mode=2)
+    broker.publish("", "d", message)
+    assert drain_wait(lambda: collector.count() == 1)
+    assert broker.store.pending_for("d")
+    # Crash before acking: the same message object (same id) is requeued,
+    # so when the survivor finally acks, the journal entry is cleared.
+    broker.cancel("d", "c1")
+    survivor = Collector()
+    broker.consume("d", survivor, consumer_tag="c2")
+    assert drain_wait(lambda: survivor.count() == 1)
+    with survivor.lock:
+        redelivery = survivor.deliveries[0]
+    assert redelivery.message.message_id == message.message_id
+    assert redelivery.message.redelivered
+    broker.ack(redelivery)
+    assert not broker.store.pending_for("d")
+    broker.close()
